@@ -1,0 +1,58 @@
+// Fig. 6 — scalability: query time (a-e) and memory (f-j) on samples of
+// s*n objects, s in {0.2 .. 1.0}, for NL, SG, BIGrid and BIGrid-label.
+//
+//   ./bench_fig6_scalability [--full] [--datasets=...] [--r=4]
+//                            [--s=0.2,0.4,0.6,0.8,1.0] [--algos=...]
+#include <filesystem>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  mio::ArgParser args(argc, argv);
+  mio::datagen::Scale scale = mio::bench::SelectScale(args);
+  double r = args.GetDouble("r", 4.0);
+  std::vector<double> rates = args.GetDoubleList("s", {0.2, 0.4, 0.6, 0.8, 1.0});
+  std::vector<std::string> algos =
+      args.GetStringList("algos", {"nl", "sg", "bigrid", "bigrid-label"});
+
+  mio::bench::Header("Fig. 6: scalability in the sampling rate s (r = " +
+                     std::to_string(r) + ")");
+  std::printf("%-10s %-14s %6s %8s %12s %12s %10s\n", "dataset", "algo", "s",
+              "n", "time[s]", "memory[MiB]", "tau(o*)");
+
+  for (mio::datagen::Preset preset : mio::bench::SelectDatasets(args)) {
+    mio::ObjectSet full_set = mio::datagen::MakePreset(preset, scale);
+    std::string name = mio::datagen::PresetName(preset);
+
+    for (double s : rates) {
+      mio::ObjectSet set = mio::SampleObjects(full_set, s, /*seed=*/17);
+      std::string label_dir =
+          (std::filesystem::temp_directory_path() / ("mio_f6_" + name))
+              .string();
+      std::filesystem::remove_all(label_dir);
+
+      for (const std::string& algo : algos) {
+        if (algo == "nl" && !args.Has("algos") &&
+            (preset == mio::datagen::Preset::kBird ||
+             preset == mio::datagen::Preset::kSyn)) {
+          continue;  // as in the paper: NL cannot finish on these
+        }
+        if (algo == "bigrid-label") {
+          mio::MioEngine recorder(set, label_dir);
+          mio::bench::PrimeLabels(recorder, r, 1);
+        }
+        mio::MioEngine engine(set, label_dir);
+        mio::Timer t;
+        mio::QueryResult res =
+            mio::bench::RunAlgorithm(algo, engine, set, r, 1);
+        std::printf("%-10s %-14s %6.1f %8zu %12s %12s %10u\n", name.c_str(),
+                    algo.c_str(), s, set.size(),
+                    mio::bench::Sec(t.ElapsedSeconds()).c_str(),
+                    mio::bench::MiB(res.stats.index_memory_bytes).c_str(),
+                    res.best().score);
+      }
+      std::filesystem::remove_all(label_dir);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 7 — the top-k variant: BIGrid query time as k grows. NL and SG
+// compute every score, so their time is k-independent (the paper notes
+// this); one reference row per dataset is printed for them.
+//
+//   ./bench_fig7_topk [--full] [--datasets=...] [--r=4] [--k=1,5,25,100]
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  mio::ArgParser args(argc, argv);
+  mio::datagen::Scale scale = mio::bench::SelectScale(args);
+  double r = args.GetDouble("r", 4.0);
+  std::vector<std::int64_t> ks = args.GetIntList("k", {1, 5, 25, 100});
+
+  mio::bench::Header("Fig. 7: top-k query time (r = " + std::to_string(r) +
+                     ")");
+  std::printf("%-10s %-10s %8s %12s %12s %12s %14s\n", "dataset", "algo", "k",
+              "time[s]", "kth-score", "candidates", "verified");
+
+  for (mio::datagen::Preset preset : mio::bench::SelectDatasets(args)) {
+    mio::ObjectSet set = mio::datagen::MakePreset(preset, scale);
+    std::string name = mio::datagen::PresetName(preset);
+
+    for (std::int64_t k : ks) {
+      if (static_cast<std::size_t>(k) > set.size()) continue;
+      mio::MioEngine engine(set);
+      mio::QueryOptions opt;
+      opt.k = static_cast<std::size_t>(k);
+      mio::Timer t;
+      mio::QueryResult res = engine.Query(r, opt);
+      std::printf("%-10s %-10s %8lld %12s %12u %12zu %14zu\n", name.c_str(),
+                  "bigrid", static_cast<long long>(k),
+                  mio::bench::Sec(t.ElapsedSeconds()).c_str(),
+                  res.topk.back().score, res.stats.num_candidates,
+                  res.stats.num_verified);
+    }
+    // k-independent baseline reference (SG; NL is strictly slower).
+    mio::Timer t;
+    mio::QueryResult sg = mio::SimpleGridQuery(set, r, 1, 1);
+    std::printf("%-10s %-10s %8s %12s %12u %12s %14zu\n", name.c_str(),
+                "sg(any k)", "-", mio::bench::Sec(t.ElapsedSeconds()).c_str(),
+                sg.best().score, "-", set.size());
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table I — dataset statistics. Regenerates the paper's table for the
+// synthetic stand-ins at the selected scale, plus the target (paper)
+// sizes for reference and the interaction level at r = 4 (the winner's
+// score), which documents how dense each analogue is.
+//
+//   ./bench_table1_datasets [--full] [--datasets=...] [--skip-scores]
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  mio::ArgParser args(argc, argv);
+  mio::datagen::Scale scale = mio::bench::SelectScale(args);
+  bool skip_scores = args.GetBool("skip-scores", false);
+
+  mio::bench::Header("Table I: dataset statistics");
+  std::printf("%-10s %10s %10s %12s %10s %10s %14s %12s\n", "dataset", "n",
+              "m", "nm", "paper_n", "paper_m", "gen_time[s]",
+              "tau(o*)@r=4");
+  for (mio::datagen::Preset preset : mio::bench::SelectDatasets(args)) {
+    mio::Timer timer;
+    mio::ObjectSet set = mio::datagen::MakePreset(preset, scale);
+    double gen_time = timer.ElapsedSeconds();
+    mio::DatasetStats stats = set.Stats();
+    std::size_t paper_n = 0, paper_m = 0;
+    mio::datagen::PresetTargetSize(preset, mio::datagen::Scale::kFull,
+                                   &paper_n, &paper_m);
+    std::string score = "-";
+    if (!skip_scores) {
+      mio::MioEngine engine(set);
+      mio::QueryResult res = engine.Query(4.0);
+      score = std::to_string(res.best().score) + " (" +
+              std::to_string(static_cast<int>(100.0 * res.best().score /
+                                              (stats.n > 1 ? stats.n - 1 : 1))) +
+              "%)";
+    }
+    std::printf("%-10s %10zu %10.0f %12zu %10zu %10zu %14.3f %12s\n",
+                mio::datagen::PresetName(preset).c_str(), stats.n, stats.m,
+                stats.nm, paper_n, paper_m, gen_time, score.c_str());
+  }
+  return 0;
+}

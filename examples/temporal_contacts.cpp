@@ -1,0 +1,46 @@
+// Temporal scenario (paper Appendix B): interactions that must be close
+// in space AND time. With timestamped trajectories, "which animal had
+// close encounters (within r metres, within delta time units) with the
+// most others?" — a proximity/contact analysis. Sweeping delta shows how
+// the temporal constraint thins out the spatial interaction graph.
+//
+//   ./build/examples/temporal_contacts [--r=6.0]
+#include <cstdio>
+
+#include "common/argparse.hpp"
+#include "common/timer.hpp"
+#include "core/temporal.hpp"
+#include "datagen/trajectory_gen.hpp"
+
+int main(int argc, char** argv) {
+  mio::ArgParser args(argc, argv);
+  double r = args.GetDouble("r", 6.0);
+
+  mio::datagen::BirdConfig cfg;
+  cfg.num_objects = 1500;
+  cfg.points_per_object = 40;
+  cfg.with_times = true;  // one time unit per fix
+  mio::ObjectSet animals = mio::datagen::MakeBirdLike(cfg);
+  std::printf("timestamped trajectories: %s, time span %.0f\n\n",
+              animals.Stats().ToString().c_str(), animals.MaxTime());
+
+  // Purely spatial first (delta = infinity is approximated by the span).
+  double span = animals.MaxTime() + 1.0;
+  std::printf("%-12s %-10s %-10s %-12s %s\n", "delta", "winner", "score",
+              "time", "note");
+  const double deltas[] = {span, 200.0, 50.0, 10.0, 1.0, 0.0};
+  for (double delta : deltas) {
+    mio::QueryResult res = mio::TemporalMioQuery(animals, r, delta);
+    if (res.topk.empty()) continue;
+    const char* note = "";
+    if (delta == span) note = "(no real time constraint)";
+    if (delta == 0.0) note = "(exact same timestamp required)";
+    std::printf("%-12.1f %-10u %-10u %-12s %s\n", delta, res.best().id,
+                res.best().score,
+                mio::FormatSeconds(res.stats.total_seconds).c_str(), note);
+  }
+
+  std::printf("\nscores shrink monotonically as delta tightens: spatial\n"
+              "closeness alone no longer counts as a contact.\n");
+  return 0;
+}

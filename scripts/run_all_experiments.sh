@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's empirical study.
+# Usage: scripts/run_all_experiments.sh [output-dir] [extra bench flags...]
+# e.g.   scripts/run_all_experiments.sh results --full
+set -u
+BUILD=${BUILD_DIR:-build}
+OUT=${1:-results}
+shift 2>/dev/null || true
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" "$@" 2>&1 | tee "$OUT/$name.txt"
+done
+echo "results written to $OUT/"

@@ -1,0 +1,16 @@
+#include "bitset/bitset_stats.hpp"
+
+#include <cstdio>
+
+namespace mio {
+
+std::string BitsetCompressionStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "bitsets=%zu compressed=%zuB uncompressed=%zuB savings=%.1f%%",
+                num_bitsets, compressed_bytes, uncompressed_bytes,
+                SavingsRatio() * 100.0);
+  return buf;
+}
+
+}  // namespace mio

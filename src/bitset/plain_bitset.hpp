@@ -1,0 +1,81 @@
+// Uncompressed dynamic bitset. Two roles: (1) the random-access
+// accumulator used during verification, where bits are set/cleared in
+// arbitrary order (EWAH patching would be O(size) per write); (2) the
+// reference implementation for differential-testing the EWAH codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mio {
+
+/// Growable uncompressed bitset over 64-bit words.
+class PlainBitset {
+ public:
+  PlainBitset() = default;
+  /// Creates a bitset with `bits` zero bits pre-allocated.
+  explicit PlainBitset(std::size_t bits) { Resize(bits); }
+
+  /// Grows (never shrinks) the logical size to at least `bits`.
+  void Resize(std::size_t bits);
+
+  /// Number of logical bits.
+  std::size_t SizeInBits() const { return size_in_bits_; }
+
+  /// Sets bit i (grows if needed).
+  void Set(std::size_t i);
+  /// Clears bit i (no-op past the end).
+  void Clear(std::size_t i);
+  /// Tests bit i (false past the end).
+  bool Test(std::size_t i) const;
+
+  /// Number of set bits.
+  std::size_t Count() const;
+  /// True iff no bit is set.
+  bool Empty() const { return Count() == 0; }
+
+  /// this |= other (grows to cover other).
+  void OrWith(const PlainBitset& other);
+  /// this &= other (bits past other's end become 0).
+  void AndWith(const PlainBitset& other);
+  /// this &= ~other.
+  void AndNotWith(const PlainBitset& other);
+  /// this ^= other (grows to cover other).
+  void XorWith(const PlainBitset& other);
+
+  /// Zeroes all bits, keeping capacity.
+  void Reset();
+
+  /// Invokes f(index) for each set bit in ascending order.
+  template <typename F>
+  void ForEachSetBit(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        f(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Indices of set bits in ascending order.
+  std::vector<std::size_t> SetBits() const;
+
+  /// Heap bytes held by the word array.
+  std::size_t MemoryUsageBytes() const { return words_.capacity() * 8; }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Logical equality: same set of set bits (sizes may differ).
+  bool operator==(const PlainBitset& other) const;
+
+ private:
+  void EnsureWord(std::size_t word_idx);
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_in_bits_ = 0;
+};
+
+}  // namespace mio

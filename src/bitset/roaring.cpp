@@ -1,0 +1,296 @@
+#include "bitset/roaring.hpp"
+
+#include <algorithm>
+
+namespace mio {
+
+// ---------------------------------------------------------------------------
+// Container primitives
+// ---------------------------------------------------------------------------
+
+std::size_t Roaring::Container::Cardinality() const {
+  if (IsArray()) return array.size();
+  std::size_t c = 0;
+  for (std::uint64_t w : bitmap) c += __builtin_popcountll(w);
+  return c;
+}
+
+void Roaring::Container::Set(std::uint16_t low) {
+  if (IsArray()) {
+    auto it = std::lower_bound(array.begin(), array.end(), low);
+    if (it != array.end() && *it == low) return;
+    array.insert(it, low);
+    MaybeUpgrade();
+  } else {
+    bitmap[low / 64] |= std::uint64_t(1) << (low % 64);
+  }
+}
+
+bool Roaring::Container::Test(std::uint16_t low) const {
+  if (IsArray()) {
+    return std::binary_search(array.begin(), array.end(), low);
+  }
+  return (bitmap[low / 64] >> (low % 64)) & 1u;
+}
+
+void Roaring::Container::MaybeUpgrade() {
+  if (!IsArray() || array.size() <= kArrayMax) return;
+  bitmap.assign(kBitmapWords, 0);
+  for (std::uint16_t v : array) {
+    bitmap[v / 64] |= std::uint64_t(1) << (v % 64);
+  }
+  array.clear();
+  array.shrink_to_fit();
+}
+
+void Roaring::Container::MaybeDowngrade() {
+  if (IsArray()) return;
+  std::size_t card = Cardinality();
+  if (card > kArrayMax) return;
+  array.reserve(card);
+  for (std::size_t w = 0; w < bitmap.size(); ++w) {
+    std::uint64_t word = bitmap[w];
+    while (word != 0) {
+      int b = __builtin_ctzll(word);
+      array.push_back(static_cast<std::uint16_t>(w * 64 + b));
+      word &= word - 1;
+    }
+  }
+  bitmap.clear();
+  bitmap.shrink_to_fit();
+}
+
+// ---------------------------------------------------------------------------
+// Point operations
+// ---------------------------------------------------------------------------
+
+std::size_t Roaring::FindContainer(std::uint16_t key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - keys_.begin());
+}
+
+Roaring::Container& Roaring::GetOrCreateContainer(std::uint16_t key) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  std::size_t idx = static_cast<std::size_t>(it - keys_.begin());
+  if (it == keys_.end() || *it != key) {
+    keys_.insert(it, key);
+    containers_.insert(containers_.begin() + idx, Container{});
+  }
+  return containers_[idx];
+}
+
+void Roaring::Set(std::size_t i) {
+  std::uint16_t key = static_cast<std::uint16_t>(i >> 16);
+  GetOrCreateContainer(key).Set(static_cast<std::uint16_t>(i & 0xFFFF));
+}
+
+bool Roaring::Test(std::size_t i) const {
+  std::size_t idx = FindContainer(static_cast<std::uint16_t>(i >> 16));
+  if (idx == static_cast<std::size_t>(-1)) return false;
+  return containers_[idx].Test(static_cast<std::uint16_t>(i & 0xFFFF));
+}
+
+std::size_t Roaring::Count() const {
+  std::size_t c = 0;
+  for (const Container& ct : containers_) c += ct.Cardinality();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Container-level binary ops
+// ---------------------------------------------------------------------------
+
+Roaring::Container Roaring::OrContainers(const Container& a,
+                                         const Container& b) {
+  Container out;
+  if (a.IsArray() && b.IsArray()) {
+    out.array.resize(a.array.size() + b.array.size());
+    out.array.erase(std::set_union(a.array.begin(), a.array.end(),
+                                   b.array.begin(), b.array.end(),
+                                   out.array.begin()),
+                    out.array.end());
+    out.MaybeUpgrade();
+    return out;
+  }
+  // At least one bitmap: result is a bitmap (cardinality can only grow).
+  const Container& bm = a.IsArray() ? b : a;
+  const Container& other = a.IsArray() ? a : b;
+  out.bitmap = bm.bitmap;
+  if (other.IsArray()) {
+    for (std::uint16_t v : other.array) {
+      out.bitmap[v / 64] |= std::uint64_t(1) << (v % 64);
+    }
+  } else {
+    for (std::size_t w = 0; w < kBitmapWords; ++w) {
+      out.bitmap[w] |= other.bitmap[w];
+    }
+  }
+  return out;
+}
+
+Roaring::Container Roaring::AndContainers(const Container& a,
+                                          const Container& b) {
+  Container out;
+  if (a.IsArray() && b.IsArray()) {
+    out.array.resize(std::min(a.array.size(), b.array.size()));
+    out.array.erase(std::set_intersection(a.array.begin(), a.array.end(),
+                                          b.array.begin(), b.array.end(),
+                                          out.array.begin()),
+                    out.array.end());
+    return out;
+  }
+  if (a.IsArray() || b.IsArray()) {
+    const Container& arr = a.IsArray() ? a : b;
+    const Container& bm = a.IsArray() ? b : a;
+    for (std::uint16_t v : arr.array) {
+      if (bm.Test(v)) out.array.push_back(v);
+    }
+    return out;
+  }
+  out.bitmap.resize(kBitmapWords);
+  for (std::size_t w = 0; w < kBitmapWords; ++w) {
+    out.bitmap[w] = a.bitmap[w] & b.bitmap[w];
+  }
+  out.MaybeDowngrade();
+  return out;
+}
+
+Roaring::Container Roaring::AndNotContainers(const Container& a,
+                                             const Container& b) {
+  Container out;
+  if (a.IsArray()) {
+    for (std::uint16_t v : a.array) {
+      if (!b.Test(v)) out.array.push_back(v);
+    }
+    return out;
+  }
+  out.bitmap = a.bitmap;
+  if (b.IsArray()) {
+    for (std::uint16_t v : b.array) {
+      out.bitmap[v / 64] &= ~(std::uint64_t(1) << (v % 64));
+    }
+  } else {
+    for (std::size_t w = 0; w < kBitmapWords; ++w) {
+      out.bitmap[w] &= ~b.bitmap[w];
+    }
+  }
+  out.MaybeDowngrade();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap-level binary ops (merge the sorted key lists)
+// ---------------------------------------------------------------------------
+
+Roaring Roaring::Or(const Roaring& a, const Roaring& b) {
+  Roaring out;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.keys_.size() || ib < b.keys_.size()) {
+    bool take_a = ib >= b.keys_.size() ||
+                  (ia < a.keys_.size() && a.keys_[ia] < b.keys_[ib]);
+    bool take_b = ia >= a.keys_.size() ||
+                  (ib < b.keys_.size() && b.keys_[ib] < a.keys_[ia]);
+    if (take_a) {
+      out.keys_.push_back(a.keys_[ia]);
+      out.containers_.push_back(a.containers_[ia]);
+      ++ia;
+    } else if (take_b) {
+      out.keys_.push_back(b.keys_[ib]);
+      out.containers_.push_back(b.containers_[ib]);
+      ++ib;
+    } else {
+      out.keys_.push_back(a.keys_[ia]);
+      out.containers_.push_back(OrContainers(a.containers_[ia],
+                                             b.containers_[ib]));
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+Roaring Roaring::And(const Roaring& a, const Roaring& b) {
+  Roaring out;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.keys_.size() && ib < b.keys_.size()) {
+    if (a.keys_[ia] < b.keys_[ib]) {
+      ++ia;
+    } else if (b.keys_[ib] < a.keys_[ia]) {
+      ++ib;
+    } else {
+      Container ct = AndContainers(a.containers_[ia], b.containers_[ib]);
+      if (ct.Cardinality() > 0) {
+        out.keys_.push_back(a.keys_[ia]);
+        out.containers_.push_back(std::move(ct));
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+Roaring Roaring::AndNot(const Roaring& a, const Roaring& b) {
+  Roaring out;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.keys_.size()) {
+    if (ib >= b.keys_.size() || a.keys_[ia] < b.keys_[ib]) {
+      out.keys_.push_back(a.keys_[ia]);
+      out.containers_.push_back(a.containers_[ia]);
+      ++ia;
+    } else if (b.keys_[ib] < a.keys_[ia]) {
+      ++ib;
+    } else {
+      Container ct = AndNotContainers(a.containers_[ia], b.containers_[ib]);
+      if (ct.Cardinality() > 0) {
+        out.keys_.push_back(a.keys_[ia]);
+        out.containers_.push_back(std::move(ct));
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Conversions and accounting
+// ---------------------------------------------------------------------------
+
+PlainBitset Roaring::ToPlain() const {
+  PlainBitset out;
+  ForEachSetBit([&](std::size_t i) { out.Set(i); });
+  return out;
+}
+
+Roaring Roaring::FromPlain(const PlainBitset& plain) {
+  Roaring out;
+  plain.ForEachSetBit([&](std::size_t i) { out.Set(i); });
+  return out;
+}
+
+bool Roaring::operator==(const Roaring& other) const {
+  return ToPlain() == other.ToPlain();
+}
+
+std::size_t Roaring::CompressedBytes() const {
+  std::size_t bytes = keys_.size() * sizeof(std::uint16_t);
+  for (const Container& ct : containers_) {
+    bytes += ct.IsArray() ? ct.array.size() * sizeof(std::uint16_t)
+                          : ct.bitmap.size() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+std::size_t Roaring::MemoryUsageBytes() const {
+  std::size_t bytes = keys_.capacity() * sizeof(std::uint16_t) +
+                      containers_.capacity() * sizeof(Container);
+  for (const Container& ct : containers_) {
+    bytes += ct.array.capacity() * sizeof(std::uint16_t) +
+             ct.bitmap.capacity() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace mio

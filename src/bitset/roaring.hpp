@@ -1,0 +1,112 @@
+// Roaring bitmap (Chambi, Lemire et al.), original two-container variant:
+// the bit universe is split into 2^16-bit chunks; sparse chunks store
+// sorted 16-bit arrays, dense chunks store 1024-word bitmaps, converting
+// at the classical 4096-element threshold. Implemented from scratch as
+// the second compressed-bitset codec behind BIGrid: the paper (footnote
+// 3) notes BIGrid "is orthogonal to any compressed bitset" and uses EWAH
+// as one choice — bench_micro_bitset and bench_ablation compare the two
+// codecs on the index's actual workloads.
+//
+// Unlike EWAH, Roaring supports fast random-order Set() (no append
+// constraint), at the cost of a container lookup per operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bitset/plain_bitset.hpp"
+
+namespace mio {
+
+/// Compressed bitset over array/bitmap containers.
+class Roaring {
+ public:
+  Roaring() = default;
+
+  /// Sets bit i (any order).
+  void Set(std::size_t i);
+  /// Tests bit i.
+  bool Test(std::size_t i) const;
+  /// Number of set bits; O(#containers).
+  std::size_t Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  void Reset() {
+    keys_.clear();
+    containers_.clear();
+  }
+
+  static Roaring Or(const Roaring& a, const Roaring& b);
+  static Roaring And(const Roaring& a, const Roaring& b);
+  /// a & ~b.
+  static Roaring AndNot(const Roaring& a, const Roaring& b);
+
+  /// this |= other.
+  void OrWith(const Roaring& other) { *this = Or(*this, other); }
+
+  /// Invokes f(index) for every set bit in ascending order.
+  template <typename F>
+  void ForEachSetBit(F&& f) const {
+    for (std::size_t c = 0; c < keys_.size(); ++c) {
+      std::size_t base = static_cast<std::size_t>(keys_[c]) << 16;
+      const Container& ct = containers_[c];
+      if (ct.IsArray()) {
+        for (std::uint16_t v : ct.array) f(base + v);
+      } else {
+        for (std::size_t w = 0; w < ct.bitmap.size(); ++w) {
+          std::uint64_t word = ct.bitmap[w];
+          while (word != 0) {
+            int b = __builtin_ctzll(word);
+            f(base + w * 64 + static_cast<std::size_t>(b));
+            word &= word - 1;
+          }
+        }
+      }
+    }
+  }
+
+  PlainBitset ToPlain() const;
+  static Roaring FromPlain(const PlainBitset& plain);
+
+  /// Logical equality (same set bits).
+  bool operator==(const Roaring& other) const;
+
+  /// Bytes of the compressed representation.
+  std::size_t CompressedBytes() const;
+  std::size_t MemoryUsageBytes() const;
+
+  std::size_t NumContainers() const { return containers_.size(); }
+
+ private:
+  static constexpr std::size_t kArrayMax = 4096;    // classic threshold
+  static constexpr std::size_t kBitmapWords = 1024; // 65536 bits
+
+  struct Container {
+    // Array form: sorted unique 16-bit values. Bitmap form: 1024 words.
+    std::vector<std::uint16_t> array;
+    std::vector<std::uint64_t> bitmap;
+    bool IsArray() const { return bitmap.empty(); }
+
+    std::size_t Cardinality() const;
+    void Set(std::uint16_t low);
+    bool Test(std::uint16_t low) const;
+    /// Converts to bitmap form when the array outgrows the threshold.
+    void MaybeUpgrade();
+    /// Converts to array form when a result shrinks below the threshold.
+    void MaybeDowngrade();
+  };
+
+  /// Index of the container for high bits `key`, or npos.
+  std::size_t FindContainer(std::uint16_t key) const;
+  Container& GetOrCreateContainer(std::uint16_t key);
+
+  static Container OrContainers(const Container& a, const Container& b);
+  static Container AndContainers(const Container& a, const Container& b);
+  static Container AndNotContainers(const Container& a, const Container& b);
+
+  std::vector<std::uint16_t> keys_;   // sorted high-16-bit keys
+  std::vector<Container> containers_; // parallel to keys_
+};
+
+}  // namespace mio

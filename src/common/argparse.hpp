@@ -1,0 +1,44 @@
+// Minimal command-line flag parser for the benchmark harnesses and
+// examples. Supports `--flag`, `--flag=value` and `--flag value` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mio {
+
+/// \brief Parses `--key[=value]` style flags; positional args are kept
+/// in order. Unknown flags are tolerated (benches share sweep scripts).
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Value of `--name`, or `fallback` when absent.
+  std::string GetString(const std::string& name, std::string fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list flag, e.g. `--r=4,6,8,10`.
+  std::vector<double> GetDoubleList(const std::string& name,
+                                    std::vector<double> fallback) const;
+  std::vector<std::int64_t> GetIntList(const std::string& name,
+                                       std::vector<std::int64_t> fallback) const;
+  std::vector<std::string> GetStringList(const std::string& name,
+                                         std::vector<std::string> fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mio

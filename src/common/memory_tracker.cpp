@@ -1,0 +1,35 @@
+#include "common/memory_tracker.hpp"
+
+#include <cstdio>
+
+namespace mio {
+
+std::string FormatBytes(std::size_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (b < 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else if (b < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string MemoryBreakdown::ToString() const {
+  std::string out;
+  for (const auto& [name, bytes] : parts) {
+    out += name;
+    out += "=";
+    out += FormatBytes(bytes);
+    out += " ";
+  }
+  out += "total=";
+  out += FormatBytes(Total());
+  return out;
+}
+
+}  // namespace mio

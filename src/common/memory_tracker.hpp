@@ -1,0 +1,48 @@
+// Memory accounting for index structures. The paper's Figs. 5(f)-(j) and
+// 6(f)-(j) report index memory usage; every index structure implements
+// MemoryUsageBytes() built from these helpers so the benches can report
+// byte-exact structure sizes rather than noisy RSS readings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mio {
+
+/// Bytes held by a vector's heap allocation (capacity, not size).
+template <typename T>
+std::size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Approximate bytes held by an unordered_map: bucket array plus one node
+/// per element (libstdc++ node = value + next pointer + cached hash).
+template <typename K, typename V, typename H, typename E, typename A>
+std::size_t UnorderedMapBytes(const std::unordered_map<K, V, H, E, A>& m) {
+  std::size_t node = sizeof(std::pair<const K, V>) + 2 * sizeof(void*);
+  return m.bucket_count() * sizeof(void*) + m.size() * node;
+}
+
+/// Named breakdown of an index's memory footprint, e.g.
+/// {"small_grid": ..., "large_grid": ..., "key_lists": ...}.
+struct MemoryBreakdown {
+  std::vector<std::pair<std::string, std::size_t>> parts;
+
+  void Add(std::string name, std::size_t bytes) {
+    parts.emplace_back(std::move(name), bytes);
+  }
+  std::size_t Total() const {
+    std::size_t t = 0;
+    for (const auto& [_, b] : parts) t += b;
+    return t;
+  }
+  /// "small_grid=1.2MiB large_grid=3.4MiB total=4.6MiB"
+  std::string ToString() const;
+};
+
+/// Formats a byte count as "123 B", "1.2 KiB", "3.4 MiB", "5.6 GiB".
+std::string FormatBytes(std::size_t bytes);
+
+}  // namespace mio

@@ -1,0 +1,109 @@
+// Lightweight Status / Result error-handling primitives, in the style of
+// Apache Arrow / RocksDB: recoverable failures travel as values, not
+// exceptions, so callers on hot paths pay nothing for the happy path.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mio {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kCorruption,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns the canonical human-readable name of a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation that can fail without a payload.
+///
+/// A default-constructed Status is OK. Failure states carry a code and a
+/// message. Status is cheap to copy (small string optimization covers the
+/// common short messages).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief Status with a payload: holds either a value of T or an error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<T>(var_); }
+  const T& value() const& { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(var_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace mio
+
+/// Propagates a non-OK Status to the caller.
+#define MIO_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::mio::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)

@@ -1,0 +1,57 @@
+// Wall-clock timing utilities used by the benchmark harnesses and the
+// per-phase breakdown reported in QueryStats (paper Table II).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mio {
+
+/// Monotonic wall-clock stopwatch with millisecond/second readouts.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Nanoseconds elapsed, for micro-measurements.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed seconds into `*sink` on destruction; used to
+/// attribute time to pipeline phases without sprinkling Timer calls.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* sink) : sink_(sink) {}
+  ~ScopedAccumulator() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+/// Formats seconds as a human-friendly string, e.g. "12.3 ms" or "4.56 s".
+std::string FormatSeconds(double seconds);
+
+}  // namespace mio

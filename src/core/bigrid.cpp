@@ -1,0 +1,306 @@
+#include "core/bigrid.hpp"
+
+#include <algorithm>
+
+#include "common/omp_utils.hpp"
+
+namespace mio {
+
+// ---------------------------------------------------------------------------
+// LargeCell
+// ---------------------------------------------------------------------------
+
+void LargeCell::AddPostingPoint(ObjectId obj, const Point& p) {
+  if (post_obj.empty() || post_obj.back() != obj) {
+    post_obj.push_back(obj);
+    post_start.push_back(static_cast<std::uint32_t>(post_points.size()));
+  }
+  post_points.push_back(p);
+}
+
+std::span<const Point> LargeCell::Posting(ObjectId obj) const {
+  auto it = std::lower_bound(post_obj.begin(), post_obj.end(), obj);
+  if (it == post_obj.end() || *it != obj) return {};
+  std::size_t idx = static_cast<std::size_t>(it - post_obj.begin());
+  std::uint32_t begin = post_start[idx];
+  std::uint32_t end = idx + 1 < post_start.size()
+                          ? post_start[idx + 1]
+                          : static_cast<std::uint32_t>(post_points.size());
+  return {post_points.data() + begin, end - begin};
+}
+
+std::size_t LargeCell::MemoryUsageBytes() const {
+  return bits.MemoryUsageBytes() + (adj_computed ? adj.MemoryUsageBytes() : 0) +
+         post_obj.capacity() * sizeof(ObjectId) +
+         post_start.capacity() * sizeof(std::uint32_t) +
+         post_points.capacity() * sizeof(Point);
+}
+
+// ---------------------------------------------------------------------------
+// BiGrid build
+// ---------------------------------------------------------------------------
+
+BiGrid::BiGrid(const ObjectSet& objects, double r, bool planar,
+               std::shared_ptr<LargeGridData> reuse)
+    : objects_(&objects),
+      r_(r),
+      small_width_(planar ? SmallGridWidth2D(r) : SmallGridWidth(r)) {
+  double width = LargeGridWidth(r);
+  if (reuse != nullptr && reuse->width == width && reuse->complete) {
+    large_ = std::move(reuse);
+    reused_large_ = true;
+  } else {
+    large_ = std::make_shared<LargeGridData>();
+    large_->width = width;
+  }
+}
+
+void BiGrid::MapPointSmall(ObjectId i, const Point& p, bool update_key_lists) {
+  CellKey key = KeyForWidth(p, small_width_);
+  SmallCell& cell = small_[ShardOfSmall(key)].GetOrCreate(key);
+  if (cell.last_obj == i && cell.num_objects > 0) return;  // same-object dedup
+  cell.last_obj = i;
+  cell.bits.Set(i);
+  ++cell.num_objects;
+  if (cell.num_objects == 1) {
+    cell.first_obj = i;
+  } else if (update_key_lists) {
+    // Cells holding a single object contribute nothing to any lower bound
+    // (Lemma 1's union minus the object's own bit), so keys enter the key
+    // lists only once a second object arrives — and then retroactively for
+    // the first object too (Algorithm 3 lines 7-10).
+    if (cell.num_objects == 2) key_lists_[cell.first_obj].push_back(key);
+    key_lists_[i].push_back(key);
+  }
+}
+
+void BiGrid::MapPointLarge(ObjectId i, const Point& p) {
+  CellKey key = KeyForWidth(p, large_->width);
+  LargeCell& cell = large_->shards[ShardOfLarge(key)].GetOrCreate(key);
+  if (cell.last_obj != i || cell.post_obj.empty()) {
+    cell.bits.Set(i);
+    cell.last_obj = i;
+  }
+  cell.AddPostingPoint(i, p);
+}
+
+void BiGrid::Build(const LabelSet* labels, bool build_groups) {
+  const ObjectSet& objs = *objects_;
+  const std::size_t n = objs.size();
+  small_.assign(1, SmallMap{});
+  key_lists_.assign(n, {});
+
+  const bool build_large = !reused_large_;
+  if (build_large) {
+    large_->shards.assign(1, LargeMap{});
+    large_->groups.clear();
+    large_->has_groups = false;
+    large_->complete = labels == nullptr;
+  }
+
+  for (ObjectId i = 0; i < n; ++i) {
+    const Object& o = objs[i];
+    for (std::size_t j = 0; j < o.points.size(); ++j) {
+      if (labels != nullptr && (labels->Get(i, j) & label::kMap) == 0) {
+        continue;  // Labeling-1: prunable everywhere (Lemma 3)
+      }
+      MapPointSmall(i, o.points[j], /*update_key_lists=*/true);
+      if (build_large) MapPointLarge(i, o.points[j]);
+    }
+  }
+
+  if (build_groups && !large_->has_groups) {
+    // A reused (complete) grid needs complete groups; a fresh labelled
+    // grid needs label-filtered groups matching its cell population.
+    const LabelSet* group_labels = reused_large_ ? nullptr : labels;
+    large_->groups.assign(n, {});
+    for (ObjectId i = 0; i < n; ++i) BuildGroupsFor(i, group_labels);
+    large_->has_groups = true;
+  }
+}
+
+void BiGrid::BuildParallel(int threads, const LabelSet* labels,
+                           bool build_groups) {
+  threads = ResolveThreads(threads);
+  if (threads <= 1) {
+    Build(labels, build_groups);
+    return;
+  }
+  const ObjectSet& objs = *objects_;
+  const std::size_t n = objs.size();
+  small_.assign(threads, SmallMap{});
+  key_lists_.assign(n, {});
+
+  const bool build_large = !reused_large_;
+  if (build_large) {
+    large_->shards.assign(threads, LargeMap{});
+    large_->groups.clear();
+    large_->has_groups = false;
+    large_->complete = labels == nullptr;
+  }
+
+  // Hash partitioning of points by cell key: thread t exclusively owns
+  // shard t of each grid, so all cell updates are single-writer. Each
+  // thread scans all points and keeps those hashing to its shard; the scan
+  // is duplicated but cheap compared with the hash-map updates.
+#pragma omp parallel num_threads(threads)
+  {
+    std::size_t t = static_cast<std::size_t>(ThreadId());
+    for (ObjectId i = 0; i < n; ++i) {
+      const Object& o = objs[i];
+      for (std::size_t j = 0; j < o.points.size(); ++j) {
+        if (labels != nullptr && (labels->Get(i, j) & label::kMap) == 0) {
+          continue;
+        }
+        const Point& p = o.points[j];
+        CellKey ks = KeyForWidth(p, small_width_);
+        if (CellKeyHash{}(ks) % small_.size() == t) {
+          MapPointSmall(i, p, /*update_key_lists=*/false);
+        }
+        if (build_large) {
+          CellKey kl = KeyForWidth(p, large_->width);
+          if (CellKeyHash{}(kl) % large_->shards.size() == t) {
+            MapPointLarge(i, p);
+          }
+        }
+      }
+    }
+  }
+
+  DeriveKeyListsFromCells(threads);
+
+  if (build_groups && !large_->has_groups) {
+    const LabelSet* group_labels = reused_large_ ? nullptr : labels;
+    large_->groups.assign(n, {});
+#pragma omp parallel for schedule(dynamic, 16) num_threads(threads)
+    for (ObjectId i = 0; i < n; ++i) BuildGroupsFor(i, group_labels);
+    large_->has_groups = true;
+  }
+}
+
+void BiGrid::DeriveKeyListsFromCells(int threads) {
+  // Post-pass equivalent of the incremental key-list maintenance: a key
+  // belongs to o_i.L iff its small cell holds >= 2 distinct objects and
+  // o_i is one of them — exactly the membership Algorithm 3 arrives at.
+  std::vector<std::vector<std::pair<ObjectId, CellKey>>> local(
+      static_cast<std::size_t>(threads));
+#pragma omp parallel num_threads(threads)
+  {
+    std::size_t t = static_cast<std::size_t>(ThreadId());
+    auto& buf = local[t];
+    for (std::size_t s = t; s < small_.size();
+         s += static_cast<std::size_t>(threads)) {
+      small_[s].ForEach([&](const CellKey& key, SmallCell& cell) {
+        if (cell.num_objects < 2) return;
+        cell.bits.ForEachSetBit([&](std::size_t obj) {
+          buf.emplace_back(static_cast<ObjectId>(obj), key);
+        });
+      });
+    }
+  }
+  for (const auto& buf : local) {
+    for (const auto& [obj, key] : buf) key_lists_[obj].push_back(key);
+  }
+}
+
+void BiGrid::BuildGroupsFor(ObjectId i, const LabelSet* labels) {
+  const Object& o = (*objects_)[i];
+  auto& groups = large_->groups[i];
+  std::unordered_map<CellKey, std::size_t, CellKeyHash> index;
+  for (std::size_t j = 0; j < o.points.size(); ++j) {
+    if (labels != nullptr && (labels->Get(i, j) & label::kMap) == 0) continue;
+    CellKey key = KeyForWidth(o.points[j], large_->width);
+    auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) groups.push_back(PointGroup{key, {}});
+    groups[it->second].point_idx.push_back(static_cast<std::uint32_t>(j));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+const SmallCell* BiGrid::FindSmall(const CellKey& k) const {
+  return small_[ShardOfSmall(k)].Find(k);
+}
+
+const LargeCell* BiGrid::FindLarge(const CellKey& k) const {
+  return large_->shards[ShardOfLarge(k)].Find(k);
+}
+
+LargeCell* BiGrid::FindLarge(const CellKey& k) {
+  return large_->shards[ShardOfLarge(k)].Find(k);
+}
+
+LargeCell& BiGrid::EnsureAdj(const CellKey& k) {
+  LargeCell& cell = *FindLarge(k);
+  if (cell.adj_computed) return cell;
+  Ewah acc = cell.bits;
+  ForEachNeighbor(k, /*include_self=*/false, [&](const CellKey& nk) {
+    if (const LargeCell* nc = FindLarge(nk)) acc.OrWith(nc->bits);
+  });
+  cell.adj = std::move(acc);
+  cell.adj_count = static_cast<std::uint32_t>(cell.adj.Count());
+  cell.adj_computed = true;
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------------
+
+MemoryBreakdown BiGrid::MemoryUsage() const {
+  MemoryBreakdown mb;
+  std::size_t small_bytes = 0;
+  for (const auto& shard : small_) {
+    small_bytes += shard.TableBytes();
+    shard.ForEach([&](const CellKey&, const SmallCell& cell) {
+      small_bytes += cell.bits.MemoryUsageBytes();
+    });
+  }
+  mb.Add("small_grid", small_bytes);
+
+  std::size_t large_bytes = 0;
+  for (const auto& shard : large_->shards) {
+    large_bytes += shard.TableBytes();
+    shard.ForEach([&](const CellKey&, const LargeCell& cell) {
+      large_bytes += cell.MemoryUsageBytes();
+    });
+  }
+  mb.Add("large_grid", large_bytes);
+
+  std::size_t kl_bytes = key_lists_.capacity() * sizeof(std::vector<CellKey>);
+  for (const auto& kl : key_lists_) kl_bytes += kl.capacity() * sizeof(CellKey);
+  mb.Add("key_lists", kl_bytes);
+
+  if (large_->has_groups) {
+    std::size_t g_bytes =
+        large_->groups.capacity() * sizeof(std::vector<PointGroup>);
+    for (const auto& groups : large_->groups) {
+      g_bytes += groups.capacity() * sizeof(PointGroup);
+      for (const auto& g : groups) {
+        g_bytes += g.point_idx.capacity() * sizeof(std::uint32_t);
+      }
+    }
+    mb.Add("point_groups", g_bytes);
+  }
+  return mb;
+}
+
+BitsetCompressionStats BiGrid::CompressionStats() const {
+  BitsetCompressionStats stats;
+  for (const auto& shard : small_) {
+    shard.ForEach([&](const CellKey&, const SmallCell& cell) {
+      stats.Add(cell.bits);
+    });
+  }
+  for (const auto& shard : large_->shards) {
+    shard.ForEach([&](const CellKey&, const LargeCell& cell) {
+      stats.Add(cell.bits);
+      if (cell.adj_computed) stats.Add(cell.adj);
+    });
+  }
+  return stats;
+}
+
+}  // namespace mio

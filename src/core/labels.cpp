@@ -1,0 +1,40 @@
+#include "core/labels.hpp"
+
+namespace mio {
+
+LabelSet LabelSet::MakeAllOnes(const ObjectSet& objects) {
+  LabelSet set;
+  set.labels.resize(objects.size());
+  for (ObjectId i = 0; i < objects.size(); ++i) {
+    set.labels[i].assign(objects[i].NumPoints(), label::kAll);
+  }
+  return set;
+}
+
+std::size_t LabelSet::CountMapPruned() const {
+  std::size_t count = 0;
+  for (const auto& obj : labels) {
+    for (std::uint8_t l : obj) {
+      if ((l & label::kMap) == 0) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t LabelSet::CountAnyPruned() const {
+  std::size_t count = 0;
+  for (const auto& obj : labels) {
+    for (std::uint8_t l : obj) {
+      if (l != label::kAll) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t LabelSet::MemoryUsageBytes() const {
+  std::size_t bytes = labels.capacity() * sizeof(std::vector<std::uint8_t>);
+  for (const auto& obj : labels) bytes += obj.capacity();
+  return bytes;
+}
+
+}  // namespace mio

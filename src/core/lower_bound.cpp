@@ -1,0 +1,39 @@
+#include "core/lower_bound.hpp"
+
+#include <algorithm>
+
+namespace mio {
+
+std::uint32_t LowerBoundResult::KthLargest(std::size_t k) const {
+  if (tau_low.empty()) return 0;
+  k = std::min(std::max<std::size_t>(k, 1), tau_low.size());
+  std::vector<std::uint32_t> copy = tau_low;
+  std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end(),
+                   std::greater<>());
+  return copy[k - 1];
+}
+
+LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets) {
+  const std::size_t n = grid.objects().size();
+  LowerBoundResult res;
+  res.tau_low.assign(n, 0);
+  if (keep_bitsets) res.lb_bitsets.resize(n);
+
+  for (ObjectId i = 0; i < n; ++i) {
+    Ewah acc;
+    for (const CellKey& key : grid.KeyList(i)) {
+      const SmallCell* cell = grid.FindSmall(key);
+      acc.OrWith(cell->bits);
+    }
+    std::size_t count = acc.Count();
+    // The union contains o_i's own bit whenever the key list is non-empty
+    // (its point put it there); Lemma 1's "-1" removes it.
+    res.tau_low[i] =
+        count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+    res.tau_low_max = std::max(res.tau_low_max, res.tau_low[i]);
+    if (keep_bitsets) res.lb_bitsets[i] = std::move(acc);
+  }
+  return res;
+}
+
+}  // namespace mio

@@ -1,0 +1,31 @@
+// LOWER-BOUNDING(O, r) — paper Algorithm 4 / Lemma 1. For each object,
+// OR together the small-grid bitsets of the cells in its key list; every
+// object in that union (minus o_i itself) certainly interacts with o_i,
+// because two points in one small cell are within r. No distance
+// computation is involved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitset/ewah.hpp"
+#include "core/bigrid.hpp"
+
+namespace mio {
+
+/// Lower bounds for all objects.
+struct LowerBoundResult {
+  std::vector<std::uint32_t> tau_low;
+  std::uint32_t tau_low_max = 0;
+  /// The per-object union bitsets b(o_i); kept only when requested (the
+  /// *-WITH-LABEL verification seeds its accumulator from them).
+  std::vector<Ewah> lb_bitsets;
+
+  /// k-th largest lower bound (the top-k pruning threshold, §III-C).
+  std::uint32_t KthLargest(std::size_t k) const;
+};
+
+/// Serial lower-bounding over the whole collection.
+LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets);
+
+}  // namespace mio

@@ -1,0 +1,173 @@
+#include "core/mio_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/omp_utils.hpp"
+#include "common/timer.hpp"
+#include "core/bigrid.hpp"
+#include "core/lower_bound.hpp"
+#include "core/parallel_phases.hpp"
+#include "core/upper_bound.hpp"
+#include "core/verification.hpp"
+
+namespace mio {
+
+MioEngine::MioEngine(const ObjectSet& objects, std::string label_dir)
+    : objects_(objects), planar_(objects.IsPlanar()) {
+  if (!label_dir.empty()) {
+    store_ = std::make_unique<LabelStore>(std::move(label_dir));
+  }
+}
+
+const LabelSet* MioEngine::LookupLabels(int ceil_r, double* load_seconds) {
+  auto it = label_cache_.find(ceil_r);
+  if (it != label_cache_.end()) return &it->second;
+  if (store_ != nullptr && store_->Has(ceil_r)) {
+    Timer timer;
+    Result<LabelSet> loaded = store_->Load(ceil_r, objects_);
+    if (load_seconds != nullptr) *load_seconds = timer.ElapsedSeconds();
+    if (loaded.ok()) {
+      auto [ins, _] = label_cache_.emplace(ceil_r, std::move(loaded).value());
+      return &ins->second;
+    }
+    // Corrupt / mismatched files are ignored: the query falls back to the
+    // label-free pipeline, which is always correct.
+  }
+  return nullptr;
+}
+
+bool MioEngine::HasLabelsFor(double r) const {
+  int ceil_r = static_cast<int>(LargeGridWidth(r));
+  if (label_cache_.count(ceil_r) > 0) return true;
+  return store_ != nullptr && store_->Has(ceil_r);
+}
+
+void MioEngine::ClearLabels() {
+  label_cache_.clear();
+  if (store_ != nullptr) store_->Clear();
+}
+
+QueryResult MioEngine::Query(double r, const QueryOptions& options) {
+  QueryResult res;
+  if (objects_.empty() || r <= 0.0) return res;
+
+  const int threads = ResolveThreads(options.threads);
+  const std::size_t k = std::min(std::max<std::size_t>(options.k, 1),
+                                 objects_.size());
+  const bool parallel = threads > 1;
+  QueryStats& stats = res.stats;
+  stats.threads = threads;
+
+  Timer total_timer;
+
+  // --- Label lookup (BIGrid-label: Label-Input row of Table II) ---------
+  const int ceil_r = static_cast<int>(LargeGridWidth(r));
+  const LabelSet* use_labels = nullptr;
+  if (options.use_labels) {
+    use_labels = LookupLabels(ceil_r, &stats.phases.label_input);
+  }
+  LabelSet recorded;
+  LabelSet* record_labels = nullptr;
+  if (options.record_labels && use_labels == nullptr) {
+    recorded = LabelSet::MakeAllOnes(objects_);
+    recorded.recorded_r = r;
+    record_labels = &recorded;
+  }
+  // Labeling-3 is only sound when replaying the exact recorded radius
+  // (see labels.hpp); Labeling-1/2 transfer to the whole ceiling class.
+  const bool use_verify_bit =
+      use_labels != nullptr && use_labels->recorded_r == r;
+
+  // --- GRID-MAPPING(O, r) ------------------------------------------------
+  // Planar data gets the tighter 2-D small grid (footnote 1); the large
+  // grid — and therefore label validity — is unaffected. With reuse_grid,
+  // a cached large grid for this ceiling (complete, with memoised b_adj)
+  // is adopted and only the small grid is mapped.
+  std::shared_ptr<LargeGridData> reuse;
+  if (options.reuse_grid) {
+    auto it = grid_cache_.find(ceil_r);
+    if (it != grid_cache_.end()) reuse = it->second;
+  }
+  BiGrid grid(objects_, r, planar_, std::move(reuse));
+  {
+    ScopedAccumulator acc(&stats.phases.grid_mapping);
+    if (parallel) {
+      grid.BuildParallel(threads, use_labels, /*build_groups=*/true);
+    } else {
+      grid.Build(use_labels, /*build_groups=*/false);
+    }
+  }
+  stats.reused_grid = grid.reused_large_grid();
+  if (options.reuse_grid && grid.large_grid_complete()) {
+    grid_cache_[ceil_r] = grid.ShareLargeGrid();
+  }
+  stats.cells_small = grid.NumSmallCells();
+  stats.cells_large = grid.NumLargeCells();
+  if (use_labels != nullptr) {
+    stats.points_pruned_by_labels = use_labels->CountAnyPruned();
+  }
+
+  // --- LOWER-BOUNDING(O, r) ----------------------------------------------
+  // The with-label verification seeds its accumulators from the
+  // lower-bound unions, so keep them in that mode.
+  const bool keep_lb_bitsets = use_labels != nullptr;
+  LowerBoundResult lb;
+  {
+    ScopedAccumulator acc(&stats.phases.lower_bounding);
+    lb = parallel ? ParallelLowerBounding(grid, options.lb_strategy, threads,
+                                          keep_lb_bitsets)
+                  : LowerBounding(grid, keep_lb_bitsets);
+  }
+  std::uint32_t threshold = k == 1 ? lb.tau_low_max : lb.KthLargest(k);
+  stats.tau_low_max = lb.tau_low_max;
+
+  // --- UPPER-BOUNDING(O, r, threshold) ------------------------------------
+  UpperBoundResult ub;
+  {
+    ScopedAccumulator acc(&stats.phases.upper_bounding);
+    ub = parallel
+             ? ParallelUpperBounding(grid, threshold, options.ub_strategy,
+                                     threads, use_labels, record_labels,
+                                     &stats)
+             : UpperBounding(grid, threshold, use_labels, record_labels,
+                             &stats);
+  }
+
+  // --- VERIFICATION(O_cand, r) ---------------------------------------------
+  {
+    ScopedAccumulator acc(&stats.phases.verification);
+    const std::vector<Ewah>* lb_bits =
+        keep_lb_bitsets ? &lb.lb_bitsets : nullptr;
+    res.topk =
+        parallel
+            ? ParallelVerification(grid, ub, k, threads, use_labels,
+                                   record_labels, lb_bits, &stats,
+                                   use_verify_bit)
+            : Verification(grid, ub, k, use_labels, record_labels, lb_bits,
+                           &stats, use_verify_bit);
+  }
+
+  // --- Post-processing: label output (§III-D) -----------------------------
+  if (record_labels != nullptr) {
+    stats.points_pruned_by_labels = recorded.CountMapPruned();
+    if (store_ != nullptr) {
+      // Persisting is best-effort: a failed write only costs future reuse.
+      (void)store_->Save(ceil_r, recorded);
+    }
+    label_cache_[ceil_r] = std::move(recorded);
+  }
+
+  stats.memory = grid.MemoryUsage();
+  if (use_labels != nullptr) {
+    stats.memory.Add("labels", use_labels->MemoryUsageBytes());
+  }
+  stats.index_memory_bytes = stats.memory.Total();
+  if (options.collect_compression_stats) {
+    stats.compression = grid.CompressionStats();
+  }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return res;
+}
+
+}  // namespace mio

@@ -1,0 +1,70 @@
+// MioEngine — the public entry point of the library. Implements the
+// paper's framework (Algorithm 2):
+//
+//   GRID-MAPPING -> LOWER-BOUNDING -> UPPER-BOUNDING -> VERIFICATION
+//
+// with optional label reuse across queries sharing ceil(r) (§III-D,
+// "BIGrid-label"), the top-k variant (§III-C), and the multi-core phase
+// implementations (§IV). The BIGrid is built online per query — the paper
+// shows offline building is not viable (Appendix A) — so the engine keeps
+// no spatial state between queries, only labels.
+//
+// Typical use:
+//   mio::MioEngine engine(objects);
+//   mio::QueryOptions opt;
+//   opt.use_labels = opt.record_labels = true;   // BIGrid-label
+//   mio::QueryResult res = engine.Query(4.0, opt);
+//   res.best().id;       // o*
+//   res.best().score;    // tau(o*)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/bigrid.hpp"
+#include "core/options.hpp"
+#include "core/query_result.hpp"
+#include "io/label_store.hpp"
+#include "object/object_set.hpp"
+
+namespace mio {
+
+/// Query processor over one (static, memory-resident) object collection.
+class MioEngine {
+ public:
+  /// `objects` must outlive the engine. When `label_dir` is non-empty,
+  /// recorded labels are persisted there and looked up on later queries
+  /// (the external-memory label residency of §III-D); otherwise labels
+  /// live only in the in-process cache.
+  explicit MioEngine(const ObjectSet& objects, std::string label_dir = "");
+
+  /// Runs one MIO query with threshold r > 0.
+  QueryResult Query(double r, const QueryOptions& options = {});
+
+  /// True if labels for ceil(r) are available (cache or disk).
+  bool HasLabelsFor(double r) const;
+
+  /// Drops cached and persisted labels.
+  void ClearLabels();
+
+  /// Drops cached large grids (the reuse_grid cache).
+  void ClearGridCache() { grid_cache_.clear(); }
+
+  const ObjectSet& objects() const { return objects_; }
+
+  /// True when the engine detected a 2-D dataset at construction and is
+  /// using the r/sqrt(2) small grid.
+  bool planar() const { return planar_; }
+
+ private:
+  const LabelSet* LookupLabels(int ceil_r, double* load_seconds);
+
+  const ObjectSet& objects_;
+  bool planar_ = false;
+  std::unordered_map<int, LabelSet> label_cache_;
+  std::unordered_map<int, std::shared_ptr<LargeGridData>> grid_cache_;
+  std::unique_ptr<LabelStore> store_;
+};
+
+}  // namespace mio

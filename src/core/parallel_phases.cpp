@@ -1,0 +1,417 @@
+#include "core/parallel_phases.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/omp_utils.hpp"
+#include "core/partition.hpp"
+#include "core/verification.hpp"
+
+namespace mio {
+
+// ---------------------------------------------------------------------------
+// Lower-bounding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+LowerBoundResult LbGreedyDivide(const BiGrid& grid, int threads,
+                                bool keep_bitsets) {
+  const std::size_t n = grid.objects().size();
+  LowerBoundResult res;
+  res.tau_low.assign(n, 0);
+  if (keep_bitsets) res.lb_bitsets.resize(n);
+
+  // Greedy division of O by key-list size (the paper's LB-greedy-d):
+  // each core computes whole objects, so no bitset synchronisation.
+  std::vector<std::uint64_t> weights(n);
+  for (ObjectId i = 0; i < n; ++i) weights[i] = grid.KeyList(i).size() + 1;
+  std::vector<int> assign = GreedyAssign(weights, threads);
+
+  std::vector<std::uint32_t> local_max(threads, 0);
+#pragma omp parallel num_threads(threads)
+  {
+    int t = ThreadId();
+    for (ObjectId i = 0; i < n; ++i) {
+      if (assign[i] != t) continue;
+      Ewah acc;
+      for (const CellKey& key : grid.KeyList(i)) {
+        acc.OrWith(grid.FindSmall(key)->bits);
+      }
+      std::size_t count = acc.Count();
+      res.tau_low[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+      local_max[t] = std::max(local_max[t], res.tau_low[i]);
+      if (keep_bitsets) res.lb_bitsets[i] = std::move(acc);
+    }
+  }
+  for (int t = 0; t < threads; ++t) {
+    res.tau_low_max = std::max(res.tau_low_max, local_max[t]);
+  }
+  return res;
+}
+
+LowerBoundResult LbHashPartition(const BiGrid& grid, int threads,
+                                 bool keep_bitsets) {
+  const std::size_t n = grid.objects().size();
+  LowerBoundResult res;
+  res.tau_low.assign(n, 0);
+  if (keep_bitsets) res.lb_bitsets.resize(n);
+
+  // Hash-partition each object's key list across cores, OR into per-core
+  // local bitsets, merge per object (the paper's LB-hash-p). Perfectly
+  // balanced, but pays a parallel region + merge per object — exactly the
+  // overhead Fig. 8 shows dominating when key lists are small.
+  std::vector<Ewah> locals(threads);
+  for (ObjectId i = 0; i < n; ++i) {
+    const std::vector<CellKey>& keys = grid.KeyList(i);
+#pragma omp parallel num_threads(threads)
+    {
+      std::size_t t = static_cast<std::size_t>(ThreadId());
+      locals[t].Reset();
+      for (std::size_t idx = t; idx < keys.size();
+           idx += static_cast<std::size_t>(threads)) {
+        locals[t].OrWith(grid.FindSmall(keys[idx])->bits);
+      }
+    }
+    Ewah acc;
+    for (int t = 0; t < threads; ++t) acc.OrWith(locals[t]);
+    std::size_t count = acc.Count();
+    res.tau_low[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+    res.tau_low_max = std::max(res.tau_low_max, res.tau_low[i]);
+    if (keep_bitsets) res.lb_bitsets[i] = std::move(acc);
+  }
+  return res;
+}
+
+}  // namespace
+
+LowerBoundResult ParallelLowerBounding(const BiGrid& grid,
+                                       LbStrategy strategy, int threads,
+                                       bool keep_bitsets) {
+  threads = ResolveThreads(threads);
+  if (threads <= 1) return LowerBounding(grid, keep_bitsets);
+  switch (strategy) {
+    case LbStrategy::kHashPartitionPoints:
+      return LbHashPartition(grid, threads, keep_bitsets);
+    case LbStrategy::kGreedyDivideObjects:
+    default:
+      return LbGreedyDivide(grid, threads, keep_bitsets);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Upper-bounding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Clears the kUpper bit for the points of a group, optionally keeping the
+/// first one (the point that "carries" the group's OR in future replays).
+void ClearUpperLabels(LabelSet* record, ObjectId i, const PointGroup& g,
+                      bool keep_first) {
+  for (std::size_t idx = keep_first ? 1 : 0; idx < g.point_idx.size(); ++idx) {
+    record->labels[i][g.point_idx[idx]] &=
+        static_cast<std::uint8_t>(~label::kUpper);
+  }
+  if (!keep_first && !g.point_idx.empty()) {
+    record->labels[i][g.point_idx[0]] &=
+        static_cast<std::uint8_t>(~label::kUpper);
+  }
+}
+
+UpperBoundResult UbCostBasedGreedy(BiGrid& grid, std::uint32_t threshold,
+                                   int threads, const LabelSet* use_labels,
+                                   LabelSet* record_labels,
+                                   QueryStats* stats) {
+  const std::size_t n = grid.objects().size();
+  UpperBoundResult res;
+  res.tau_upp.assign(n, 0);
+
+  std::vector<Ewah> locals(threads);
+  for (ObjectId i = 0; i < n; ++i) {
+    const std::vector<PointGroup>& groups = grid.LargeGroups(i);
+
+    // Cost model Eq. (3): a group whose cell still needs b_adj costs 27
+    // cell accesses; a memoised one costs a single bitset update. The
+    // labelling term |P_{i,K}| applies only when labels are being
+    // recorded (it is "omitted when the labels are utilized").
+    std::vector<std::uint64_t> weights(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const LargeCell* cell = grid.FindLarge(groups[g].key);
+      std::uint64_t w = (cell != nullptr && cell->adj_computed)
+                            ? 1
+                            : static_cast<std::uint64_t>(kNeighborhoodSize);
+      if (record_labels != nullptr) w += groups[g].point_idx.size();
+      weights[g] = w;
+    }
+    std::vector<int> assign = GreedyAssign(weights, threads);
+
+#pragma omp parallel num_threads(threads)
+    {
+      int t = ThreadId();
+      locals[t].Reset();
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (assign[g] != t) continue;
+        const PointGroup& group = groups[g];
+        if (use_labels != nullptr) {
+          // Skip the group unless some point still carries kUpper.
+          bool any = false;
+          for (std::uint32_t j : group.point_idx) {
+            std::uint8_t l = use_labels->Get(i, j);
+            if ((l & label::kUpper) != 0 && (l & label::kMap) != 0) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) continue;
+        }
+        // Points with the same key share one cell, so exactly one core
+        // computes b_adj for it — no synchronisation (paper §IV).
+        LargeCell& cell = grid.EnsureAdj(group.key);
+        if (record_labels != nullptr && cell.adj_count == 1) {
+          for (std::uint32_t j : group.point_idx) {
+            record_labels->labels[i][j] &=
+                static_cast<std::uint8_t>(~label::kMap);
+          }
+          continue;
+        }
+        if (record_labels != nullptr) {
+          std::size_t before = locals[t].Count();
+          locals[t].OrWith(cell.adj);
+          bool changed = locals[t].Count() != before;
+          // One OR per group: the first point carries it, the rest are
+          // redundant (Observation 2); if nothing changed, all are.
+          ClearUpperLabels(record_labels, i, group, /*keep_first=*/changed);
+        } else {
+          locals[t].OrWith(cell.adj);
+        }
+      }
+    }
+
+    Ewah acc;
+    for (int t = 0; t < threads; ++t) acc.OrWith(locals[t]);
+    std::size_t count = acc.Count();
+    res.tau_upp[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+    if (res.tau_upp[i] >= threshold) res.candidates.push_back(i);
+  }
+
+  SortCandidates(res.tau_upp, &res.candidates);
+  if (stats != nullptr) stats->num_candidates = res.candidates.size();
+  return res;
+}
+
+UpperBoundResult UbGreedyDivide(BiGrid& grid, std::uint32_t threshold,
+                                int threads, const LabelSet* use_labels,
+                                LabelSet* record_labels, QueryStats* stats) {
+  const ObjectSet& objects = grid.objects();
+  const std::size_t n = objects.size();
+  const double large_width = grid.large_width();
+  UpperBoundResult res;
+  res.tau_upp.assign(n, 0);
+
+  // The paper's strawman: divide O by |P_i| only. The real per-point cost
+  // depends on whether b_adj must be computed, which this ignores — hence
+  // the poor balance Fig. 8 reports. Threads keep private b_adj memos to
+  // stay race-free (duplicated neighbourhood unions are part of the cost).
+  std::vector<std::uint64_t> weights(n);
+  for (ObjectId i = 0; i < n; ++i) weights[i] = objects[i].NumPoints() + 1;
+  std::vector<int> assign = GreedyAssign(weights, threads);
+
+#pragma omp parallel num_threads(threads)
+  {
+    int t = ThreadId();
+    std::unordered_map<CellKey, std::pair<Ewah, std::uint32_t>, CellKeyHash>
+        memo;
+    for (ObjectId i = 0; i < n; ++i) {
+      if (assign[i] != t) continue;
+      const Object& o = objects[i];
+      Ewah acc;
+      std::size_t acc_count = 0;
+      for (std::size_t j = 0; j < o.points.size(); ++j) {
+        if (use_labels != nullptr) {
+          std::uint8_t l = use_labels->Get(i, j);
+          if ((l & label::kMap) == 0 || (l & label::kUpper) == 0) continue;
+        }
+        CellKey key = KeyForWidth(o.points[j], large_width);
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+          Ewah adj;
+          const LargeCell* cell = grid.FindLarge(key);
+          adj = cell->bits;
+          ForEachNeighbor(key, false, [&](const CellKey& nk) {
+            if (const LargeCell* nc = grid.FindLarge(nk)) adj.OrWith(nc->bits);
+          });
+          std::uint32_t cnt = static_cast<std::uint32_t>(adj.Count());
+          it = memo.emplace(key, std::make_pair(std::move(adj), cnt)).first;
+        }
+        const auto& [adj, adj_count] = it->second;
+        if (record_labels != nullptr && adj_count == 1) {
+          record_labels->labels[i][j] &=
+              static_cast<std::uint8_t>(~label::kMap);
+          continue;
+        }
+        acc.OrWith(adj);
+        if (record_labels != nullptr) {
+          std::size_t new_count = acc.Count();
+          if (new_count == acc_count) {
+            record_labels->labels[i][j] &=
+                static_cast<std::uint8_t>(~label::kUpper);
+          }
+          acc_count = new_count;
+        }
+      }
+      std::size_t count = record_labels != nullptr ? acc_count : acc.Count();
+      res.tau_upp[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+    }
+  }
+
+  for (ObjectId i = 0; i < n; ++i) {
+    if (res.tau_upp[i] >= threshold) res.candidates.push_back(i);
+  }
+  SortCandidates(res.tau_upp, &res.candidates);
+  if (stats != nullptr) stats->num_candidates = res.candidates.size();
+  return res;
+}
+
+}  // namespace
+
+UpperBoundResult ParallelUpperBounding(BiGrid& grid, std::uint32_t threshold,
+                                       UbStrategy strategy, int threads,
+                                       const LabelSet* use_labels,
+                                       LabelSet* record_labels,
+                                       QueryStats* stats) {
+  threads = ResolveThreads(threads);
+  if (threads <= 1 || !grid.has_groups()) {
+    return UpperBounding(grid, threshold, use_labels, record_labels, stats);
+  }
+  switch (strategy) {
+    case UbStrategy::kGreedyDivideObjects:
+      return UbGreedyDivide(grid, threshold, threads, use_labels,
+                            record_labels, stats);
+    case UbStrategy::kCostBasedGreedy:
+    default:
+      return UbCostBasedGreedy(grid, threshold, threads, use_labels,
+                               record_labels, stats);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parallel exact score of one candidate: points are partitioned across
+/// cores (round-robin within each P_{i,K}; tiny groups go to the least
+/// loaded core) and each core scans with a private accumulator; the
+/// accumulators are merged afterwards (paper §IV, with/without label).
+std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
+                                 const LabelSet* use_labels,
+                                 LabelSet* record_labels, const Ewah* lb_bitset,
+                                 std::size_t* dist_comps,
+                                 bool use_verify_bit) {
+  const std::vector<PointGroup>& groups = grid.LargeGroups(i);
+  const std::size_t n = grid.objects().size();
+
+  // Phase 1: make sure every needed b_adj exists (with labels, upper
+  // bounding may have skipped some cells). Keys are unique per group, so
+  // parallel EnsureAdj calls touch distinct cells.
+#pragma omp parallel for schedule(dynamic, 8) num_threads(threads)
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    grid.EnsureAdj(groups[g].key);
+  }
+
+  PlainBitset seed = lb_bitset != nullptr ? lb_bitset->ToPlain() : PlainBitset(n);
+  seed.Set(i);
+
+  // Phase 2 (with-label): prune whole cells already covered by the
+  // lower-bound union before distributing any points.
+  std::vector<char> group_alive(groups.size(), 1);
+  if (lb_bitset != nullptr) {
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      PlainBitset b = grid.FindLarge(groups[g].key)->adj.ToPlain();
+      b.AndNotWith(seed);
+      group_alive[g] = b.Count() > 0 ? 1 : 0;
+    }
+  }
+
+  // Phase 3: distribute points. Each surviving group is split round-robin
+  // across cores; groups smaller than the core count feed the least
+  // loaded core instead.
+  std::vector<std::vector<std::pair<std::size_t, std::uint32_t>>> tasks(
+      threads);  // (group index, point index)
+  std::vector<std::size_t> load(threads, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!group_alive[g]) continue;
+    const PointGroup& group = groups[g];
+    if (group.point_idx.size() >=
+        static_cast<std::size_t>(threads)) {
+      for (std::size_t idx = 0; idx < group.point_idx.size(); ++idx) {
+        int t = static_cast<int>(idx % static_cast<std::size_t>(threads));
+        tasks[t].emplace_back(g, group.point_idx[idx]);
+        ++load[t];
+      }
+    } else {
+      for (std::uint32_t j : group.point_idx) {
+        int t = static_cast<int>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        tasks[t].emplace_back(g, j);
+        ++load[t];
+      }
+    }
+  }
+
+  // Phase 4: per-core scans with private accumulators.
+  std::vector<PlainBitset> accs(threads);
+  std::vector<std::size_t> comps(threads, 0);
+#pragma omp parallel num_threads(threads)
+  {
+    int t = ThreadId();
+    accs[t] = seed;
+    for (const auto& [g, j] : tasks[t]) {
+      if (use_labels != nullptr) {
+        std::uint8_t l = use_labels->Get(i, j);
+        if ((l & label::kMap) == 0) continue;
+        if (use_verify_bit && (l & label::kVerify) == 0) continue;
+      }
+      VerifyPoint(grid, i, j, &accs[t], record_labels, &comps[t]);
+    }
+  }
+
+  PlainBitset merged = std::move(accs[0]);
+  for (int t = 1; t < threads; ++t) merged.OrWith(accs[t]);
+  if (dist_comps != nullptr) {
+    for (int t = 0; t < threads; ++t) *dist_comps += comps[t];
+  }
+  std::size_t count = merged.Count();
+  return count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+}
+
+}  // namespace
+
+std::vector<ScoredObject> ParallelVerification(
+    BiGrid& grid, const UpperBoundResult& ub, std::size_t k, int threads,
+    const LabelSet* use_labels, LabelSet* record_labels,
+    const std::vector<Ewah>* lb_bitsets, QueryStats* stats,
+    bool use_verify_bit) {
+  threads = ResolveThreads(threads);
+  if (threads <= 1 || !grid.has_groups()) {
+    return Verification(grid, ub, k, use_labels, record_labels, lb_bitsets,
+                        stats, use_verify_bit);
+  }
+  TopKTracker tracker(k);
+  for (ObjectId i : ub.candidates) {
+    if (static_cast<long long>(ub.tau_upp[i]) <= tracker.Threshold()) break;
+    const Ewah* lb = lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr;
+    std::uint32_t score = ParallelExactScore(
+        grid, i, threads, use_labels, record_labels, lb,
+        stats != nullptr ? &stats->distance_computations : nullptr,
+        use_verify_bit);
+    if (stats != nullptr) ++stats->num_verified;
+    tracker.Offer(i, score);
+  }
+  return tracker.Sorted();
+}
+
+}  // namespace mio

@@ -1,0 +1,45 @@
+// OpenMP-parallel versions of the BIGrid pipeline phases (paper §IV),
+// with the load-balancing strategies compared in Fig. 8:
+//   lower-bounding  — LB-greedy-d (divide O by key-list size, no sync) or
+//                     LB-hash-p (hash-partition each key list, local
+//                     bitsets merged per object);
+//   upper-bounding  — UB-greedy-p (cost-based greedy over P_{i,K} groups,
+//                     Eq. (3); single-writer b_adj) or UB-greedy-d
+//                     (divide O by |P_i|, per-thread b_adj memos);
+//   verification    — per-candidate point partitioning with per-core
+//                     accumulators merged after the scan.
+// The parallel grid mapping lives on BiGrid::BuildParallel.
+#pragma once
+
+#include "core/bigrid.hpp"
+#include "core/labels.hpp"
+#include "core/lower_bound.hpp"
+#include "core/options.hpp"
+#include "core/query_result.hpp"
+#include "core/upper_bound.hpp"
+
+namespace mio {
+
+/// PARALLEL-LOWER-BOUNDING(O, r).
+LowerBoundResult ParallelLowerBounding(const BiGrid& grid,
+                                       LbStrategy strategy, int threads,
+                                       bool keep_bitsets);
+
+/// PARALLEL-UPPER-BOUNDING(O, r, tau_low_max). Requires the BiGrid to have
+/// been built with point groups for the cost-based strategy.
+UpperBoundResult ParallelUpperBounding(BiGrid& grid, std::uint32_t threshold,
+                                       UbStrategy strategy, int threads,
+                                       const LabelSet* use_labels,
+                                       LabelSet* record_labels,
+                                       QueryStats* stats);
+
+/// PARALLEL-VERIFICATION(O_cand, r). Candidates are still consumed
+/// best-first and serially (the early-termination check is inherently
+/// sequential); the per-candidate point scan is parallelised.
+std::vector<ScoredObject> ParallelVerification(
+    BiGrid& grid, const UpperBoundResult& ub, std::size_t k, int threads,
+    const LabelSet* use_labels, LabelSet* record_labels,
+    const std::vector<Ewah>* lb_bitsets, QueryStats* stats,
+    bool use_verify_bit = true);
+
+}  // namespace mio

@@ -1,0 +1,54 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+namespace mio {
+
+std::vector<int> GreedyAssign(const std::vector<std::uint64_t>& weights,
+                              int parts) {
+  std::vector<int> assignment(weights.size(), 0);
+  if (parts <= 1) return assignment;
+
+  // Min-heap of (load, part): pop the least-loaded part in O(log parts).
+  using Entry = std::pair<std::uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int p = 0; p < parts; ++p) heap.emplace(0, p);
+
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    auto [load, part] = heap.top();
+    heap.pop();
+    assignment[i] = part;
+    heap.emplace(load + weights[i], part);
+  }
+  return assignment;
+}
+
+PartitionQuality EvaluatePartition(const std::vector<std::uint64_t>& weights,
+                                   const std::vector<int>& assignment,
+                                   int parts) {
+  std::vector<std::uint64_t> loads(std::max(parts, 1), 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    loads[assignment[i]] += weights[i];
+    total += weights[i];
+  }
+  PartitionQuality q;
+  q.max_load = *std::max_element(loads.begin(), loads.end());
+  q.min_load = *std::min_element(loads.begin(), loads.end());
+  double mean = static_cast<double>(total) / static_cast<double>(loads.size());
+  q.imbalance =
+      mean > 0.0 ? static_cast<double>(q.max_load - q.min_load) / mean : 0.0;
+  return q;
+}
+
+std::string PartitionQuality::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "max=%llu min=%llu imbalance=%.3f",
+                static_cast<unsigned long long>(max_load),
+                static_cast<unsigned long long>(min_load), imbalance);
+  return buf;
+}
+
+}  // namespace mio

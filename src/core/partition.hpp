@@ -1,0 +1,33 @@
+// Load-balancing partitioners for the parallel phases (paper §IV).
+// Optimal multi-way partitioning is NP-complete (Theorem 3, via multi-way
+// number partitioning), so the paper — and we — use greedy heuristics:
+// each item goes to the currently least-loaded core, in input order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mio {
+
+/// Greedy min-load assignment: items are visited in input order and each
+/// goes to the part with the smallest cumulative weight. Returns
+/// assignment[i] in [0, parts).
+std::vector<int> GreedyAssign(const std::vector<std::uint64_t>& weights,
+                              int parts);
+
+/// Balance diagnostics for a partition (reported by bench_fig8 alongside
+/// wall-clock, since partition quality is hardware-independent).
+struct PartitionQuality {
+  std::uint64_t max_load = 0;
+  std::uint64_t min_load = 0;
+  double imbalance = 0.0;  ///< (max - min) / mean, 0 = perfectly balanced
+
+  std::string ToString() const;
+};
+
+PartitionQuality EvaluatePartition(const std::vector<std::uint64_t>& weights,
+                                   const std::vector<int>& assignment,
+                                   int parts);
+
+}  // namespace mio

@@ -1,0 +1,27 @@
+#include "core/query_result.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mio {
+
+std::vector<ScoredObject> TopKFromScores(
+    const std::vector<std::uint32_t>& scores, std::size_t k) {
+  const std::size_t n = scores.size();
+  k = std::min(k == 0 ? std::size_t(1) : k, n);
+  std::vector<ObjectId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](ObjectId a, ObjectId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  std::vector<ScoredObject> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(ScoredObject{ids[i], scores[ids[i]]});
+  }
+  return out;
+}
+
+}  // namespace mio

@@ -1,0 +1,77 @@
+// Result and statistics types shared by every MIO algorithm (BIGrid and
+// the baselines), so benches and tests can compare them uniformly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitset/bitset_stats.hpp"
+#include "common/memory_tracker.hpp"
+#include "object/object.hpp"
+
+namespace mio {
+
+/// An object id with its exact MIO score tau.
+struct ScoredObject {
+  ObjectId id = 0;
+  std::uint32_t score = 0;
+};
+
+/// Wall-clock per phase of the BIGrid pipeline (paper Table II rows).
+/// Baselines fill only `verification` (their score computation).
+struct PhaseTimes {
+  double label_input = 0.0;
+  double grid_mapping = 0.0;
+  double lower_bounding = 0.0;
+  double upper_bounding = 0.0;
+  double verification = 0.0;
+
+  double Total() const {
+    return label_input + grid_mapping + lower_bounding + upper_bounding +
+           verification;
+  }
+};
+
+/// Everything the empirical study reports about one query execution.
+struct QueryStats {
+  PhaseTimes phases;
+  double total_seconds = 0.0;
+
+  /// Index structure footprint (Figs. 5f-j, 6f-j).
+  std::size_t index_memory_bytes = 0;
+  MemoryBreakdown memory;
+
+  // Pruning effectiveness counters.
+  std::uint32_t tau_low_max = 0;       ///< best lower bound found
+  std::size_t num_candidates = 0;      ///< |O_cand| after upper-bounding
+  std::size_t num_verified = 0;        ///< objects exactly scored
+  std::size_t distance_computations = 0;
+  std::size_t cells_small = 0;
+  std::size_t cells_large = 0;
+  std::size_t points_pruned_by_labels = 0;
+
+  BitsetCompressionStats compression;
+  int threads = 1;
+  /// True when the query adopted a cached large grid (reuse_grid mode).
+  bool reused_grid = false;
+};
+
+/// Outcome of one MIO query: the top-k objects (k = 1 for the base query)
+/// in descending score order, plus execution statistics.
+struct QueryResult {
+  std::vector<ScoredObject> topk;
+  QueryStats stats;
+
+  /// The most interactive object o* (precondition: non-empty dataset).
+  const ScoredObject& best() const { return topk.front(); }
+};
+
+/// Builds a top-k result from a full score vector (what the baselines
+/// produce — they compute every score; paper §V-B notes their run time is
+/// independent of k). Ties are broken by lower object id.
+std::vector<ScoredObject> TopKFromScores(const std::vector<std::uint32_t>& scores,
+                                         std::size_t k);
+
+}  // namespace mio

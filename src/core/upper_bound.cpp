@@ -1,0 +1,66 @@
+#include "core/upper_bound.hpp"
+
+#include <algorithm>
+
+namespace mio {
+
+void SortCandidates(const std::vector<std::uint32_t>& tau_upp,
+                    std::vector<ObjectId>* candidates) {
+  std::sort(candidates->begin(), candidates->end(),
+            [&](ObjectId a, ObjectId b) {
+              if (tau_upp[a] != tau_upp[b]) return tau_upp[a] > tau_upp[b];
+              return a < b;
+            });
+}
+
+UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
+                               const LabelSet* use_labels,
+                               LabelSet* record_labels, QueryStats* stats) {
+  const ObjectSet& objects = grid.objects();
+  const std::size_t n = objects.size();
+  const double large_width = grid.large_width();
+
+  UpperBoundResult res;
+  res.tau_upp.assign(n, 0);
+  res.candidates.reserve(n / 4 + 1);
+
+  for (ObjectId i = 0; i < n; ++i) {
+    const Object& o = objects[i];
+    Ewah acc;
+    std::size_t acc_count = 0;
+    for (std::size_t j = 0; j < o.points.size(); ++j) {
+      if (use_labels != nullptr) {
+        std::uint8_t l = use_labels->Get(i, j);
+        // UPPER-BOUNDING-WITH-LABEL iterates only points labelled 11*.
+        if ((l & label::kMap) == 0 || (l & label::kUpper) == 0) continue;
+      }
+      CellKey key = KeyForWidth(o.points[j], large_width);
+      LargeCell& cell = grid.EnsureAdj(key);
+      if (record_labels != nullptr && cell.adj_count == 1) {
+        // Labeling-1: only o_i occupies this neighbourhood — the point is
+        // irrelevant to every phase of future same-ceil(r) queries.
+        record_labels->labels[i][j] &= static_cast<std::uint8_t>(~label::kMap);
+        continue;  // it cannot change acc either (acc will contain bit i)
+      }
+      acc.OrWith(cell.adj);
+      if (record_labels != nullptr) {
+        std::size_t new_count = acc.Count();
+        if (new_count == acc_count) {
+          // Labeling-2: the OR changed nothing (Observation 2).
+          record_labels->labels[i][j] &=
+              static_cast<std::uint8_t>(~label::kUpper);
+        }
+        acc_count = new_count;
+      }
+    }
+    std::size_t count = record_labels != nullptr ? acc_count : acc.Count();
+    res.tau_upp[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+    if (res.tau_upp[i] >= threshold) res.candidates.push_back(i);
+  }
+
+  SortCandidates(res.tau_upp, &res.candidates);
+  if (stats != nullptr) stats->num_candidates = res.candidates.size();
+  return res;
+}
+
+}  // namespace mio

@@ -1,0 +1,39 @@
+// UPPER-BOUNDING(O, r, tau_low_max) — paper Algorithm 5 / Lemma 2 /
+// Theorem 2. For each object, OR together the lazily computed
+// neighbourhood bitsets b_adj of its points' large cells; any object NOT
+// in that union cannot interact with o_i (its points are farther than r).
+// Objects whose upper bound falls below the best lower bound are pruned;
+// survivors become the candidate queue, sorted by descending upper bound
+// for the best-first verification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bigrid.hpp"
+#include "core/labels.hpp"
+#include "core/query_result.hpp"
+
+namespace mio {
+
+/// Upper bounds plus the surviving candidate queue.
+struct UpperBoundResult {
+  std::vector<std::uint32_t> tau_upp;
+  /// Candidates with tau_upp >= threshold, descending tau_upp (ties by
+  /// ascending id, for determinism).
+  std::vector<ObjectId> candidates;
+};
+
+/// Serial upper-bounding. `use_labels` (may be null) activates
+/// UPPER-BOUNDING-WITH-LABEL: points whose kUpper (or kMap) bit is cleared
+/// are skipped. `record_labels` (may be null) performs Labeling-1/2 as a
+/// side effect. `stats` (may be null) receives counter updates.
+UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
+                               const LabelSet* use_labels,
+                               LabelSet* record_labels, QueryStats* stats);
+
+/// Sorts `candidates` by descending tau_upp, ties by ascending id.
+void SortCandidates(const std::vector<std::uint32_t>& tau_upp,
+                    std::vector<ObjectId>* candidates);
+
+}  // namespace mio

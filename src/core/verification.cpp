@@ -1,0 +1,163 @@
+#include "core/verification.hpp"
+
+#include <algorithm>
+
+namespace mio {
+
+// ---------------------------------------------------------------------------
+// TopKTracker
+// ---------------------------------------------------------------------------
+
+long long TopKTracker::Threshold() const {
+  if (entries_.size() < k_) return -1;
+  long long worst = entries_.front().score;
+  for (const ScoredObject& e : entries_) {
+    worst = std::min(worst, static_cast<long long>(e.score));
+  }
+  return worst;
+}
+
+void TopKTracker::Offer(ObjectId id, std::uint32_t score) {
+  if (entries_.size() < k_) {
+    entries_.push_back(ScoredObject{id, score});
+    return;
+  }
+  // Replace the worst entry if strictly beaten (ties keep the incumbent:
+  // the paper breaks ties arbitrarily).
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].score < entries_[worst].score) worst = i;
+  }
+  if (score > entries_[worst].score) entries_[worst] = ScoredObject{id, score};
+}
+
+std::vector<ScoredObject> TopKTracker::Sorted() const {
+  std::vector<ScoredObject> out = entries_;
+  std::sort(out.begin(), out.end(), [](const ScoredObject& a,
+                                       const ScoredObject& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exact score
+// ---------------------------------------------------------------------------
+
+void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
+                 PlainBitset* acc, LabelSet* record_labels,
+                 std::size_t* dist_comps) {
+  const Point& p = grid.objects()[i].points[point_idx];
+  const double r2 = grid.r() * grid.r();
+  CellKey key = KeyForWidth(p, grid.large_width());
+  // With labels, some cells may have skipped upper-bounding entirely, so
+  // b_adj may be missing here — compute it first (paper §III-D).
+  LargeCell& cell = grid.EnsureAdj(key);
+
+  // b <- b_adj(c) - b(o_i): candidates not yet confirmed.
+  PlainBitset b = cell.adj.ToPlain();
+  b.AndNotWith(*acc);
+  std::size_t remaining = b.Count();
+  if (remaining == 0) {
+    if (record_labels != nullptr) {
+      // Labeling-3: this point's whole neighbourhood is already
+      // confirmed (Observation 3).
+      record_labels->labels[i][point_idx] &=
+          static_cast<std::uint8_t>(~label::kVerify);
+    }
+    return;
+  }
+
+  std::size_t comps = 0;
+  // Scan the cell itself, then its neighbours, stopping as soon as no
+  // candidate remains near p. Postings are only touched for set bits of
+  // b (Algorithm 6 line 13).
+  auto scan_cell = [&](const CellKey& ck) -> bool {  // false = stop
+    const LargeCell* c = grid.FindLarge(ck);
+    if (c == nullptr) return true;
+    for (ObjectId obj : c->post_obj) {
+      if (!b.Test(obj)) continue;
+      for (const Point& q : c->Posting(obj)) {
+        ++comps;
+        if (SquaredDistance(p, q) <= r2) {
+          acc->Set(obj);
+          b.Clear(obj);
+          --remaining;
+          break;
+        }
+      }
+      if (remaining == 0) return false;
+    }
+    return true;
+  };
+
+  if (scan_cell(key)) {
+    bool stop = false;
+    ForEachNeighbor(key, /*include_self=*/false, [&](const CellKey& nk) {
+      if (!stop) stop = !scan_cell(nk);
+    });
+  }
+  if (dist_comps != nullptr) *dist_comps += comps;
+}
+
+std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
+                         LabelSet* record_labels, const Ewah* lb_bitset,
+                         std::size_t* dist_comps, bool use_verify_bit) {
+  const Object& o = grid.objects()[i];
+
+  // b(o_i): confirmed interaction partners (plus bit i). With labels it is
+  // seeded from the lower-bound union — those objects are certain partners
+  // (Lemma 1), so no posting scan needs to rediscover them.
+  PlainBitset acc =
+      lb_bitset != nullptr ? lb_bitset->ToPlain() : PlainBitset();
+  acc.Set(i);
+
+  for (std::size_t j = 0; j < o.points.size(); ++j) {
+    if (use_labels != nullptr) {
+      std::uint8_t l = use_labels->Get(i, j);
+      // VERIFICATION-WITH-LABEL iterates only points labelled 1*1. The
+      // kVerify bit is honoured only at the recorded radius (see
+      // labels.hpp); kMap must always be honoured — pruned points were
+      // never mapped into the grid.
+      if ((l & label::kMap) == 0) continue;
+      if (use_verify_bit && (l & label::kVerify) == 0) continue;
+    }
+    VerifyPoint(grid, i, j, &acc, record_labels, dist_comps);
+  }
+
+  std::size_t count = acc.Count();
+  return count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Best-first verification
+// ---------------------------------------------------------------------------
+
+std::vector<ScoredObject> Verification(BiGrid& grid,
+                                       const UpperBoundResult& ub,
+                                       std::size_t k,
+                                       const LabelSet* use_labels,
+                                       LabelSet* record_labels,
+                                       const std::vector<Ewah>* lb_bitsets,
+                                       QueryStats* stats,
+                                       bool use_verify_bit) {
+  TopKTracker tracker(k);
+  for (ObjectId i : ub.candidates) {
+    // Early termination (Corollary 1): the queue is sorted by descending
+    // upper bound, so once the front cannot beat the k-th best exact
+    // score, neither can anything behind it.
+    if (static_cast<long long>(ub.tau_upp[i]) <= tracker.Threshold()) break;
+    const Ewah* lb =
+        lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr;
+    std::uint32_t score = ExactScore(
+        grid, i, use_labels, record_labels, lb,
+        stats != nullptr ? &stats->distance_computations : nullptr,
+        use_verify_bit);
+    if (stats != nullptr) ++stats->num_verified;
+    tracker.Offer(i, score);
+  }
+  return tracker.Sorted();
+}
+
+}  // namespace mio

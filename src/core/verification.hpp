@@ -1,0 +1,70 @@
+// VERIFICATION(O_cand, r) — paper Algorithm 6 / Corollary 1. Candidates
+// are verified best-first (descending upper bound); verification stops as
+// soon as the next upper bound cannot beat the best exact score found
+// (the k-th best, for the top-k variant). The exact score of one object
+// uses the large grid: per point, the still-unconfirmed candidates are
+// b = b_adj(c) - b(o_i); posting lists are scanned only for set bits of b,
+// and a point's neighbourhood scan stops the moment b empties.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bitset/ewah.hpp"
+#include "core/bigrid.hpp"
+#include "core/labels.hpp"
+#include "core/query_result.hpp"
+#include "core/upper_bound.hpp"
+
+namespace mio {
+
+/// Processes one point of object i during exact scoring: computes the
+/// unconfirmed-candidate set b = b_adj - acc, performs Labeling-3 when
+/// recording, and scans the 27-cell neighbourhood's postings, folding
+/// confirmed partners into `acc`. Shared by the serial and parallel
+/// verification paths (the parallel path passes per-core accumulators).
+void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
+                 PlainBitset* acc, LabelSet* record_labels,
+                 std::size_t* dist_comps);
+
+/// Exact score of a single object via the large grid (the body of
+/// Algorithm 6's loop). `use_labels` activates the 1*1 point filter;
+/// `record_labels` performs Labeling-3; `lb_bitset` (with-label mode)
+/// seeds the accumulator with the lower-bound union; `dist_comps`
+/// accumulates distance evaluations.
+std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
+                         LabelSet* record_labels, const Ewah* lb_bitset,
+                         std::size_t* dist_comps, bool use_verify_bit = true);
+
+/// Best-first verification of the candidate queue; returns the top-k
+/// objects by exact score, descending.
+std::vector<ScoredObject> Verification(BiGrid& grid,
+                                       const UpperBoundResult& ub,
+                                       std::size_t k,
+                                       const LabelSet* use_labels,
+                                       LabelSet* record_labels,
+                                       const std::vector<Ewah>* lb_bitsets,
+                                       QueryStats* stats,
+                                       bool use_verify_bit = true);
+
+/// Maintains the k best exact scores seen so far and the resulting
+/// termination threshold (shared by serial and parallel verification).
+class TopKTracker {
+ public:
+  explicit TopKTracker(std::size_t k) : k_(k == 0 ? 1 : k) {}
+
+  /// Current pruning threshold: the k-th best score once k objects have
+  /// been verified, else -1 (nothing can be pruned yet).
+  long long Threshold() const;
+
+  void Offer(ObjectId id, std::uint32_t score);
+
+  /// Results in descending score order (ties: ascending id).
+  std::vector<ScoredObject> Sorted() const;
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredObject> entries_;  // unsorted, size <= k_
+};
+
+}  // namespace mio

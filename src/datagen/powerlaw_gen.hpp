@@ -1,0 +1,39 @@
+// Synthetic power-law generator — the stand-in for the paper's Syn
+// dataset, which was generated "so that its score distribution follows a
+// power law, based on a human-brain network". Objects are small point
+// clouds attached to hub sites whose populations follow a Zipf
+// distribution: objects at a big hub interact with most of that hub's
+// population (high score), objects at tiny hubs or in the scattered
+// background interact with few — yielding the heavy-tailed score
+// distribution the paper relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "object/object_set.hpp"
+
+namespace mio {
+namespace datagen {
+
+/// Parameters for the power-law generator.
+struct PowerLawConfig {
+  std::size_t num_objects = 20000;     ///< n
+  std::size_t points_per_object = 26;  ///< m
+  std::uint64_t seed = 3;
+
+  int num_hubs = 64;
+  double zipf_exponent = 1.3;  ///< hub population skew
+  /// Fraction of objects scattered uniformly instead of hub-attached.
+  double background_fraction = 0.25;
+
+  double domain_side = 5000.0;
+  /// Spread of an object's own point cloud and of objects around a hub.
+  double object_sigma = 1.5;
+  double hub_sigma = 2.0;
+};
+
+/// Generates a power-law-score object collection.
+ObjectSet MakePowerLaw(const PowerLawConfig& config);
+
+}  // namespace datagen
+}  // namespace mio

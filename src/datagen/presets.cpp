@@ -1,0 +1,141 @@
+#include "datagen/presets.hpp"
+
+#include "object/spatial_sort.hpp"
+
+#include <cmath>
+
+#include "datagen/neuron_gen.hpp"
+#include "datagen/powerlaw_gen.hpp"
+#include "datagen/trajectory_gen.hpp"
+
+namespace mio {
+namespace datagen {
+namespace {
+
+struct Sizes {
+  std::size_t quick_n, quick_m, full_n, full_m;
+};
+
+Sizes SizesOf(Preset preset) {
+  switch (preset) {
+    case Preset::kNeuron:
+      return {120, 400, 776, 7960};
+    case Preset::kNeuron2:
+      return {500, 80, 5493, 848};
+    case Preset::kBird:
+      return {4000, 25, 143042, 50};
+    case Preset::kBird2:
+      return {1200, 50, 29247, 100};
+    case Preset::kSyn:
+      return {20000, 26, 851519, 52};
+  }
+  return {100, 50, 100, 50};
+}
+
+}  // namespace
+
+bool ParsePreset(const std::string& name, Preset* out) {
+  if (name == "neuron") {
+    *out = Preset::kNeuron;
+  } else if (name == "neuron2") {
+    *out = Preset::kNeuron2;
+  } else if (name == "bird") {
+    *out = Preset::kBird;
+  } else if (name == "bird2") {
+    *out = Preset::kBird2;
+  } else if (name == "syn") {
+    *out = Preset::kSyn;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string PresetName(Preset preset) {
+  switch (preset) {
+    case Preset::kNeuron:
+      return "neuron";
+    case Preset::kNeuron2:
+      return "neuron2";
+    case Preset::kBird:
+      return "bird";
+    case Preset::kBird2:
+      return "bird2";
+    case Preset::kSyn:
+      return "syn";
+  }
+  return "unknown";
+}
+
+std::vector<Preset> AllPresets() {
+  return {Preset::kNeuron, Preset::kNeuron2, Preset::kBird, Preset::kBird2,
+          Preset::kSyn};
+}
+
+void PresetTargetSize(Preset preset, Scale scale, std::size_t* n,
+                      std::size_t* m) {
+  Sizes s = SizesOf(preset);
+  *n = scale == Scale::kQuick ? s.quick_n : s.full_n;
+  *m = scale == Scale::kQuick ? s.quick_m : s.full_m;
+}
+
+ObjectSet MakePreset(Preset preset, Scale scale, std::uint64_t seed) {
+  std::size_t n = 0, m = 0;
+  PresetTargetSize(preset, scale, &n, &m);
+
+  switch (preset) {
+    case Preset::kNeuron: {
+      NeuronConfig cfg;
+      cfg.num_objects = n;
+      cfg.points_per_object = m;
+      cfg.seed = seed;
+      // Keep density comparable across scales: volume grows with the
+      // cube root of the object count.
+      cfg.volume_side = 70.0 * std::cbrt(static_cast<double>(n));
+      cfg.num_clusters = static_cast<int>(n / 120 + 4);
+      return SortObjectsSpatially(MakeNeuronLike(cfg));
+    }
+    case Preset::kNeuron2: {
+      NeuronConfig cfg;
+      cfg.num_objects = n;
+      cfg.points_per_object = m;
+      cfg.seed = seed + 1;
+      cfg.volume_side = 32.0 * std::cbrt(static_cast<double>(n));
+      cfg.num_clusters = static_cast<int>(n / 150 + 6);
+      cfg.step_length = 2.0;
+      return SortObjectsSpatially(MakeNeuronLike(cfg));
+    }
+    case Preset::kBird: {
+      BirdConfig cfg;
+      cfg.num_objects = n;
+      cfg.points_per_object = m;
+      cfg.seed = seed + 2;
+      cfg.domain_side = 220.0 * std::sqrt(static_cast<double>(n));
+      return SortObjectsSpatially(MakeBirdLike(cfg));
+    }
+    case Preset::kBird2: {
+      BirdConfig cfg;
+      cfg.num_objects = n;
+      cfg.points_per_object = m;
+      cfg.seed = seed + 3;
+      cfg.domain_side = 260.0 * std::sqrt(static_cast<double>(n));
+      cfg.flock_size = 16;
+      cfg.flock_fraction = 0.6;
+      cfg.flock_radius = 5.0;
+      return SortObjectsSpatially(MakeBirdLike(cfg));
+    }
+    case Preset::kSyn: {
+      PowerLawConfig cfg;
+      cfg.num_objects = n;
+      cfg.points_per_object = m;
+      cfg.seed = seed + 4;
+      cfg.num_hubs = static_cast<int>(n / 80 + 16);
+      cfg.domain_side = 45.0 * std::cbrt(static_cast<double>(n)) * 4.0;
+      return SortObjectsSpatially(MakePowerLaw(cfg));
+    }
+  }
+  return ObjectSet{};
+}
+
+}  // namespace datagen
+}  // namespace mio

@@ -1,0 +1,49 @@
+// Named dataset presets mirroring the paper's Table I. "Quick" sizes are
+// laptop-scaled (used by the test suite and default benches); "full"
+// restores the paper's n and m. The per-dataset r unit (micrometres for
+// the neuron sets, metres for the bird sets) is baked into the generator
+// geometry, so the paper's r in [4, 10] sweep is meaningful on all of
+// them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "object/object_set.hpp"
+
+namespace mio {
+namespace datagen {
+
+/// The five datasets of the paper's empirical study.
+enum class Preset {
+  kNeuron,   ///< Table I: n=776,    m=7960, unit um
+  kNeuron2,  ///< Table I: n=5493,   m=848,  unit um
+  kBird,     ///< Table I: n=143042, m=50,   unit m
+  kBird2,    ///< Table I: n=29247,  m=100,  unit m
+  kSyn,      ///< Table I: n=851519, m=52
+};
+
+/// Quick/full sizing of a preset.
+enum class Scale { kQuick, kFull };
+
+/// Parses "neuron", "neuron2", "bird", "bird2", "syn" (case-sensitive).
+/// Returns false on unknown names.
+bool ParsePreset(const std::string& name, Preset* out);
+
+/// Canonical name of a preset.
+std::string PresetName(Preset preset);
+
+/// All five presets in the paper's order.
+std::vector<Preset> AllPresets();
+
+/// Generates a preset dataset (deterministic per preset+scale+seed).
+ObjectSet MakePreset(Preset preset, Scale scale = Scale::kQuick,
+                     std::uint64_t seed = 42);
+
+/// The (n, m) this preset targets at this scale, for reporting.
+void PresetTargetSize(Preset preset, Scale scale, std::size_t* n,
+                      std::size_t* m);
+
+}  // namespace datagen
+}  // namespace mio

@@ -1,0 +1,48 @@
+// Synthetic bird-trajectory generator — the stand-in for the paper's
+// Movebank datasets (Bird, Bird-2). Flocks move as a leader doing a
+// correlated random walk with followers offset around it (the
+// leader-follower structure of the paper's Example 2, where the MIO
+// answer interacts with ~30% of trajectories); solo wanderers provide the
+// sparse background. Long tracks are cut into sub-trajectories of ~m
+// fixes, the paper's own preparation ("dividing long trajectories so that
+// each trajectory contains approximately m points"). Coordinates are in
+// metres on a mostly-2-D domain (z = 0), timestamps one unit per fix.
+#pragma once
+
+#include <cstdint>
+
+#include "object/object_set.hpp"
+
+namespace mio {
+namespace datagen {
+
+/// Parameters for the trajectory generator.
+struct BirdConfig {
+  std::size_t num_objects = 2000;      ///< n (sub-trajectories)
+  std::size_t points_per_object = 50;  ///< m (fixes per sub-trajectory)
+  std::uint64_t seed = 2;
+
+  /// Fraction of sub-trajectories belonging to flocks (the rest wander
+  /// solo far apart — the sparse tail).
+  double flock_fraction = 0.6;
+  /// Birds per flock (leader + followers).
+  int flock_size = 12;
+  /// Lateral spread of followers around the leader path, metres.
+  double flock_radius = 5.0;
+
+  double domain_side = 20000.0;  ///< metres
+  double step_mean = 15.0;       ///< metres per fix
+  double persistence = 0.9;      ///< heading correlation
+
+  bool with_times = false;  ///< attach timestamps (temporal variant)
+  /// Per-bird timing offset (std-dev, in fix units) around the corridor
+  /// phase: stragglers and early birds, so tightening delta in a temporal
+  /// query progressively drops spatially-close-but-asynchronous pairs.
+  double time_jitter = 15.0;
+};
+
+/// Generates a bird-trajectory-like object collection.
+ObjectSet MakeBirdLike(const BirdConfig& config);
+
+}  // namespace datagen
+}  // namespace mio

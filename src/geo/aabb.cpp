@@ -1,0 +1,49 @@
+#include "geo/aabb.hpp"
+
+#include <algorithm>
+
+namespace mio {
+
+void Aabb::Extend(const Point& p) {
+  min.x = std::min(min.x, p.x);
+  min.y = std::min(min.y, p.y);
+  min.z = std::min(min.z, p.z);
+  max.x = std::max(max.x, p.x);
+  max.y = std::max(max.y, p.y);
+  max.z = std::max(max.z, p.z);
+}
+
+void Aabb::Extend(const Aabb& other) {
+  if (!other.Valid()) return;
+  Extend(other.min);
+  Extend(other.max);
+}
+
+namespace {
+inline double AxisGap(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+}  // namespace
+
+double Aabb::SquaredDistanceTo(const Point& p) const {
+  double dx = AxisGap(p.x, min.x, max.x);
+  double dy = AxisGap(p.y, min.y, max.y);
+  double dz = AxisGap(p.z, min.z, max.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+double Aabb::MinSquaredDistanceTo(const Aabb& other) const {
+  auto gap = [](double lo1, double hi1, double lo2, double hi2) {
+    if (hi1 < lo2) return lo2 - hi1;
+    if (hi2 < lo1) return lo1 - hi2;
+    return 0.0;
+  };
+  double dx = gap(min.x, max.x, other.min.x, other.max.x);
+  double dy = gap(min.y, max.y, other.min.y, other.max.y);
+  double dz = gap(min.z, max.z, other.min.z, other.max.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace mio

@@ -1,0 +1,40 @@
+// Axis-aligned bounding boxes; used by the kd-tree pruning and the data
+// generators (domain extents), not by BIGrid itself (the paper argues
+// MBR-based indexing is ineffective for point-set objects, §II-B).
+#pragma once
+
+#include <limits>
+
+#include "geo/point.hpp"
+
+namespace mio {
+
+/// Axis-aligned bounding box in 3-D.
+struct Aabb {
+  Point min{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  Point max{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+  /// True once at least one point has been folded in.
+  bool Valid() const { return min.x <= max.x; }
+
+  /// Grows the box to cover p.
+  void Extend(const Point& p);
+  /// Grows the box to cover another box.
+  void Extend(const Aabb& other);
+
+  /// Squared distance from p to the box (0 if inside).
+  double SquaredDistanceTo(const Point& p) const;
+
+  /// Minimal squared distance between two boxes (0 if overlapping).
+  double MinSquaredDistanceTo(const Aabb& other) const;
+
+  double ExtentX() const { return max.x - min.x; }
+  double ExtentY() const { return max.y - min.y; }
+  double ExtentZ() const { return max.z - min.z; }
+};
+
+}  // namespace mio

@@ -1,0 +1,13 @@
+#include "geo/cell_key.hpp"
+
+#include <cstdio>
+
+namespace mio {
+
+std::string CellKey::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%d,%d,%d)", x, y, z);
+  return buf;
+}
+
+}  // namespace mio

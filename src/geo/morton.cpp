@@ -1,0 +1,50 @@
+#include "geo/morton.hpp"
+
+namespace mio {
+namespace {
+
+// Spreads the low 21 bits of v so that there are two zero bits between
+// consecutive source bits ("bit interleave by 3").
+std::uint64_t Part1By2(std::uint64_t v) {
+  v &= 0x1fffffull;
+  v = (v | (v << 32)) & 0x1f00000000ffffull;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffull;
+  v = (v | (v << 8)) & 0x100f00f00f00f00full;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+std::uint64_t Compact1By2(std::uint64_t v) {
+  v &= 0x1249249249249249ull;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ull;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00full;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffull;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffull;
+  v = (v ^ (v >> 32)) & 0x1fffffull;
+  return v;
+}
+
+constexpr std::uint32_t kOffset = 1u << 20;  // centres the signed range
+
+}  // namespace
+
+std::uint64_t MortonEncode3(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z) {
+  return (Part1By2(z) << 2) | (Part1By2(y) << 1) | Part1By2(x);
+}
+
+void MortonDecode3(std::uint64_t code, std::uint32_t* x, std::uint32_t* y,
+                   std::uint32_t* z) {
+  *x = static_cast<std::uint32_t>(Compact1By2(code));
+  *y = static_cast<std::uint32_t>(Compact1By2(code >> 1));
+  *z = static_cast<std::uint32_t>(Compact1By2(code >> 2));
+}
+
+std::uint64_t MortonOfKey(const CellKey& k) {
+  return MortonEncode3(static_cast<std::uint32_t>(k.x + kOffset),
+                       static_cast<std::uint32_t>(k.y + kOffset),
+                       static_cast<std::uint32_t>(k.z + kOffset));
+}
+
+}  // namespace mio

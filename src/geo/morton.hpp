@@ -1,0 +1,24 @@
+// 3-D Morton (Z-order) codes. Used to give grid cells a locality-preserving
+// total order: the parallel partitioners walk cells in Morton order so each
+// core receives spatially coherent work, and the label store writes points
+// in a stable order.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/cell_key.hpp"
+
+namespace mio {
+
+/// Interleaves the low 21 bits of x, y, z into a 63-bit Morton code.
+std::uint64_t MortonEncode3(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Inverse of MortonEncode3 (recovers the low 21 bits of each coordinate).
+void MortonDecode3(std::uint64_t code, std::uint32_t* x, std::uint32_t* y,
+                   std::uint32_t* z);
+
+/// Morton code of a (possibly negative) cell key; coordinates are offset
+/// into the unsigned range so ordering is consistent across the origin.
+std::uint64_t MortonOfKey(const CellKey& k);
+
+}  // namespace mio

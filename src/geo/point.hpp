@@ -1,0 +1,39 @@
+// Spatial point type. The paper targets geo-spatial data: 3-D points, with
+// 2-D handled as z = 0 (paper footnote 1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mio {
+
+/// A 3-D point with double coordinates. 2-D datasets set z = 0.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  bool operator==(const Point& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+/// Squared Euclidean distance (avoids the sqrt on hot comparison paths).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Euclidean distance, as used by the paper's interaction predicate.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// The interaction predicate: dist(a, b) <= r, evaluated without sqrt.
+inline bool WithinDistance(const Point& a, const Point& b, double r) {
+  return SquaredDistance(a, b) <= r * r;
+}
+
+}  // namespace mio

@@ -1,0 +1,34 @@
+#include "grid/spatial_hash_grid.hpp"
+
+#include "common/memory_tracker.hpp"
+
+namespace mio {
+
+void SpatialHashGrid::Build(const ObjectSet& objects) {
+  cells_.reserve(objects.Stats().nm / 4 + 1);
+  for (ObjectId i = 0; i < objects.size(); ++i) {
+    for (const Point& p : objects[i].points) Insert(i, p);
+  }
+}
+
+void SpatialHashGrid::Insert(ObjectId obj, const Point& p) {
+  cells_[KeyForWidth(p, width_)].push_back(Entry{obj, p});
+  ++num_entries_;
+}
+
+const std::vector<SpatialHashGrid::Entry>* SpatialHashGrid::CellAt(
+    const CellKey& key) const {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return nullptr;
+  return &it->second;
+}
+
+std::size_t SpatialHashGrid::MemoryUsageBytes() const {
+  std::size_t bytes = UnorderedMapBytes(cells_);
+  for (const auto& [_, entries] : cells_) {
+    bytes += entries.capacity() * sizeof(Entry);
+  }
+  return bytes;
+}
+
+}  // namespace mio

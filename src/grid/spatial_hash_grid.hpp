@@ -1,0 +1,70 @@
+// Generic uniform spatial hash grid over (object, point) entries. This is
+// the substrate of the SG baseline (paper §V-A: a TOUCH-style grid join
+// specialised for MIO): cell width r, so candidate partners of a point lie
+// in its cell or the 26 neighbours. Cells are created on demand — no empty
+// cells, no replication (the same main-memory requirements the paper states
+// for BIGrid).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/cell_key.hpp"
+#include "geo/point.hpp"
+#include "object/object_set.hpp"
+
+namespace mio {
+
+/// Hash grid mapping each point to exactly one cell of a fixed width.
+class SpatialHashGrid {
+ public:
+  /// One stored point with its owning object.
+  struct Entry {
+    ObjectId obj;
+    Point p;
+  };
+
+  explicit SpatialHashGrid(double cell_width) : width_(cell_width) {}
+
+  /// Inserts every point of every object.
+  void Build(const ObjectSet& objects);
+
+  /// Inserts a single point.
+  void Insert(ObjectId obj, const Point& p);
+
+  double cell_width() const { return width_; }
+  std::size_t NumCells() const { return cells_.size(); }
+  std::size_t NumEntries() const { return num_entries_; }
+
+  /// Entries in the cell containing `key`, or nullptr if the cell is empty.
+  const std::vector<Entry>* CellAt(const CellKey& key) const;
+
+  /// Invokes f(entry) for every entry in the 27-cell neighbourhood of p.
+  /// f returns true to continue, false to stop early.
+  template <typename F>
+  void ForEachEntryNear(const Point& p, F&& f) const {
+    CellKey centre = KeyForWidth(p, width_);
+    bool stop = false;
+    ForEachNeighbor(centre, /*include_self=*/true, [&](const CellKey& k) {
+      if (stop) return;
+      auto it = cells_.find(k);
+      if (it == cells_.end()) return;
+      for (const Entry& e : it->second) {
+        if (!f(e)) {
+          stop = true;
+          return;
+        }
+      }
+    });
+  }
+
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  double width_;
+  std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
+  std::size_t num_entries_ = 0;
+};
+
+}  // namespace mio

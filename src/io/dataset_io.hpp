@@ -1,0 +1,27 @@
+// Dataset (de)serialisation. Text format for interchange/inspection and a
+// compact binary format for fast reload of generated datasets.
+//
+// Text format:
+//   # comment lines allowed anywhere
+//   mio-dataset v1 <n> <has_times: 0|1>
+//   object <num_points>
+//   x y z [t]          (one point per line)
+//   ...
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "object/object_set.hpp"
+
+namespace mio {
+
+Status SaveDatasetText(const ObjectSet& objects, const std::string& path);
+Result<ObjectSet> LoadDatasetText(const std::string& path);
+
+/// Binary format: magic "MIOD", u32 version, u64 n, u8 has_times, then per
+/// object u64 num_points + raw doubles; FNV-1a checksum trailer.
+Status SaveDatasetBinary(const ObjectSet& objects, const std::string& path);
+Result<ObjectSet> LoadDatasetBinary(const std::string& path);
+
+}  // namespace mio

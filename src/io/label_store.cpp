@@ -1,0 +1,140 @@
+#include "io/label_store.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace mio {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'I', 'O', 'L'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+std::uint64_t Fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+LabelStore::LabelStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string LabelStore::PathFor(int ceil_r) const {
+  return dir_ + "/labels_" + std::to_string(ceil_r) + ".bin";
+}
+
+bool LabelStore::Has(int ceil_r) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(ceil_r), ec);
+}
+
+Status LabelStore::Save(int ceil_r, const LabelSet& labels) {
+  std::string path = PathFor(ceil_r);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+
+  std::uint64_t checksum = kFnvOffset;
+  auto write = [&](const void* data, std::size_t len) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(len));
+    checksum = Fnv1a(data, len, checksum);
+  };
+
+  out.write(kMagic, 4);
+  std::uint32_t version = kVersion;
+  write(&version, sizeof(version));
+  std::uint32_t rc = static_cast<std::uint32_t>(ceil_r);
+  write(&rc, sizeof(rc));
+  double recorded_r = labels.recorded_r;
+  write(&recorded_r, sizeof(recorded_r));
+  std::uint64_t n = labels.labels.size();
+  write(&n, sizeof(n));
+  for (const auto& obj : labels.labels) {
+    std::uint64_t num_points = obj.size();
+    write(&num_points, sizeof(num_points));
+    write(obj.data(), obj.size());
+  }
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LabelSet> LabelStore::Load(int ceil_r,
+                                  const ObjectSet& expected_shape) const {
+  std::string path = PathFor(ceil_r);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no label file: " + path);
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+
+  std::uint64_t checksum = kFnvOffset;
+  auto read = [&](void* data, std::size_t len) -> bool {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    if (!in) return false;
+    checksum = Fnv1a(data, len, checksum);
+    return true;
+  };
+
+  std::uint32_t version = 0;
+  std::uint32_t rc = 0;
+  std::uint64_t n = 0;
+  if (!read(&version, sizeof(version)) || version != kVersion) {
+    return Status::Corruption("unsupported label version in " + path);
+  }
+  if (!read(&rc, sizeof(rc)) || rc != static_cast<std::uint32_t>(ceil_r)) {
+    return Status::Corruption("ceil(r) mismatch in " + path);
+  }
+  double recorded_r = 0.0;
+  if (!read(&recorded_r, sizeof(recorded_r))) {
+    return Status::Corruption("truncated recorded_r in " + path);
+  }
+  if (!read(&n, sizeof(n)) || n != expected_shape.size()) {
+    return Status::Corruption("object count mismatch in " + path);
+  }
+
+  LabelSet set;
+  set.recorded_r = recorded_r;
+  set.labels.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t num_points = 0;
+    if (!read(&num_points, sizeof(num_points)) ||
+        num_points != expected_shape[static_cast<ObjectId>(i)].NumPoints()) {
+      return Status::Corruption("point count mismatch in " + path);
+    }
+    set.labels[i].resize(num_points);
+    if (!read(set.labels[i].data(), num_points)) {
+      return Status::Corruption("truncated labels in " + path);
+    }
+  }
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != checksum) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  return set;
+}
+
+void LabelStore::Clear() {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().filename().string().rfind("labels_", 0) == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace mio

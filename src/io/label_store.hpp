@@ -1,0 +1,45 @@
+// External-memory label store (paper §III-D): "the number of MIO queries
+// issued cannot be bounded; for practical use, labels should be resident
+// in external memory". One file per ceil(r); the load cost O(nm/B) is the
+// Label-Input row of Table II.
+//
+// File format: magic "MIOL", u32 version, u32 ceil_r, u64 n, then per
+// object u64 num_points + raw label bytes; FNV-1a checksum trailer.
+// Corrupt or shape-mismatched files are reported (and ignored by the
+// engine) rather than trusted.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "core/labels.hpp"
+#include "object/object_set.hpp"
+
+namespace mio {
+
+/// Directory-backed persistence for LabelSets, keyed by ceil(r).
+class LabelStore {
+ public:
+  /// Creates the directory if missing.
+  explicit LabelStore(std::string dir);
+
+  /// True if a label file for this ceil(r) exists.
+  bool Has(int ceil_r) const;
+
+  Status Save(int ceil_r, const LabelSet& labels);
+
+  /// Loads and validates against the dataset shape (object count and
+  /// per-object point counts must match exactly).
+  Result<LabelSet> Load(int ceil_r, const ObjectSet& expected_shape) const;
+
+  /// Removes every stored label file.
+  void Clear();
+
+  std::string PathFor(int ceil_r) const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace mio

@@ -1,0 +1,30 @@
+#include "kdtree/closest_pair.hpp"
+
+#include <limits>
+
+namespace mio {
+
+double MinDistanceBetween(const Object& probe, const KdTree& tree) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& p : probe.points) {
+    // The box check inside NearestDistance prunes whole probes whose
+    // distance to the tree's bounds already exceeds the best found.
+    double d = tree.NearestDistance(p, best);
+    if (d < best) best = d;
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+double MinDistanceBruteForce(const Object& a, const Object& b) {
+  double best2 = std::numeric_limits<double>::infinity();
+  for (const Point& pa : a.points) {
+    for (const Point& pb : b.points) {
+      double d2 = SquaredDistance(pa, pb);
+      if (d2 < best2) best2 = d2;
+    }
+  }
+  return std::sqrt(best2);
+}
+
+}  // namespace mio

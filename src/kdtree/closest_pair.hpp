@@ -1,0 +1,19 @@
+// Closest point pair between two objects. The theoretical algorithm
+// (paper Theorem 1) pre-computes, for every object, the sorted array of
+// closest-pair distances to every other object; these helpers provide that
+// primitive with kd-tree pruning.
+#pragma once
+
+#include "kdtree/kdtree.hpp"
+#include "object/object.hpp"
+
+namespace mio {
+
+/// Minimum distance between any point of `probe` and the tree's point set,
+/// with a running upper bound threaded through the NN searches.
+double MinDistanceBetween(const Object& probe, const KdTree& tree);
+
+/// Brute-force O(|a|*|b|) closest-pair distance (test oracle).
+double MinDistanceBruteForce(const Object& a, const Object& b);
+
+}  // namespace mio

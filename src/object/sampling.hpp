@@ -1,0 +1,17 @@
+// Object-level sampling for the scalability experiments (paper Fig. 6:
+// "for each dataset, we select s*n objects, where s is a sampling rate").
+#pragma once
+
+#include <cstdint>
+
+#include "object/object_set.hpp"
+
+namespace mio {
+
+/// Returns a new collection containing floor(rate * n) objects drawn
+/// uniformly without replacement (deterministic for a given seed). Ids are
+/// re-assigned densely, as BIGrid bit indices require.
+ObjectSet SampleObjects(const ObjectSet& input, double rate,
+                        std::uint64_t seed);
+
+}  // namespace mio

@@ -1,0 +1,49 @@
+#include "object/spatial_sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "geo/morton.hpp"
+
+namespace mio {
+
+ObjectSet SortObjectsSpatially(const ObjectSet& input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+
+  // Normalise centroids into the 21-bit Morton lattice spanned by the
+  // collection's bounding box.
+  Aabb bounds = input.Bounds();
+  double span = std::max({bounds.ExtentX(), bounds.ExtentY(),
+                          bounds.ExtentZ(), 1e-12});
+  double scale = double((1u << 20) - 1) / span;
+
+  std::vector<std::uint64_t> codes(n);
+  for (ObjectId i = 0; i < n; ++i) {
+    const Object& o = input[i];
+    double cx = 0, cy = 0, cz = 0;
+    for (const Point& p : o.points) {
+      cx += p.x;
+      cy += p.y;
+      cz += p.z;
+    }
+    double inv = o.points.empty() ? 0.0 : 1.0 / o.points.size();
+    codes[i] = MortonEncode3(
+        static_cast<std::uint32_t>((cx * inv - bounds.min.x) * scale),
+        static_cast<std::uint32_t>((cy * inv - bounds.min.y) * scale),
+        static_cast<std::uint32_t>((cz * inv - bounds.min.z) * scale));
+  }
+
+  std::vector<ObjectId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    return codes[a] < codes[b];
+  });
+
+  ObjectSet out;
+  for (ObjectId i : order) out.Add(input[i]);
+  return out;
+}
+
+}  // namespace mio

@@ -1,0 +1,100 @@
+#include "rtree/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mio {
+namespace {
+
+double CenterAxis(const Aabb& box, int axis) {
+  switch (axis) {
+    case 0:
+      return 0.5 * (box.min.x + box.max.x);
+    case 1:
+      return 0.5 * (box.min.y + box.max.y);
+    default:
+      return 0.5 * (box.min.z + box.max.z);
+  }
+}
+
+}  // namespace
+
+RTree::RTree(std::vector<Entry> entries, std::size_t fanout)
+    : entries_(std::move(entries)),
+      num_entries_(entries_.size()),
+      fanout_(std::max<std::size_t>(fanout, 2)) {
+  if (entries_.empty()) return;
+
+  // STR: sort by x-centre, slice, sort slices by y, tile, sort tiles by z.
+  // With ~n^(1/3) slices per axis the leaves tile space in fanout-sized
+  // runs of spatially close entries.
+  std::size_t n = entries_.size();
+  std::size_t leaves = (n + fanout_ - 1) / fanout_;
+  std::size_t slices =
+      static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(leaves))));
+  slices = std::max<std::size_t>(slices, 1);
+
+  auto by_axis = [&](int axis) {
+    return [axis](const Entry& a, const Entry& b) {
+      return CenterAxis(a.box, axis) < CenterAxis(b.box, axis);
+    };
+  };
+  std::sort(entries_.begin(), entries_.end(), by_axis(0));
+  std::size_t per_slice = (n + slices - 1) / slices;
+  for (std::size_t s = 0; s * per_slice < n; ++s) {
+    std::size_t lo = s * per_slice;
+    std::size_t hi = std::min(lo + per_slice, n);
+    std::sort(entries_.begin() + lo, entries_.begin() + hi, by_axis(1));
+    std::size_t per_tile = (hi - lo + slices - 1) / slices;
+    for (std::size_t t = 0; lo + t * per_tile < hi; ++t) {
+      std::size_t tlo = lo + t * per_tile;
+      std::size_t thi = std::min(tlo + per_tile, hi);
+      std::sort(entries_.begin() + tlo, entries_.begin() + thi, by_axis(2));
+    }
+  }
+
+  // Pack leaves over the STR order.
+  std::vector<std::int32_t> level;
+  for (std::size_t begin = 0; begin < n; begin += fanout_) {
+    Node leaf;
+    leaf.begin = static_cast<std::uint32_t>(begin);
+    leaf.end = static_cast<std::uint32_t>(std::min(begin + fanout_, n));
+    for (std::uint32_t e = leaf.begin; e < leaf.end; ++e) {
+      leaf.box.Extend(entries_[e].box);
+    }
+    level.push_back(static_cast<std::int32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+
+  // Pack upper levels until one root remains.
+  while (level.size() > 1) {
+    std::vector<std::int32_t> parents;
+    for (std::size_t begin = 0; begin < level.size(); begin += fanout_) {
+      Node parent;
+      std::size_t end = std::min(begin + fanout_, level.size());
+      std::int32_t head = -1;
+      for (std::size_t c = end; c-- > begin;) {
+        nodes_[level[c]].next_sibling = head;
+        head = level[c];
+        parent.box.Extend(nodes_[level[c]].box);
+      }
+      parent.first_child = head;
+      parents.push_back(static_cast<std::int32_t>(nodes_.size()));
+      nodes_.push_back(parent);
+    }
+    level = std::move(parents);
+  }
+  root_ = level.front();
+}
+
+const Aabb& RTree::Bounds() const {
+  static const Aabb kEmpty;
+  if (root_ < 0) return kEmpty;
+  return nodes_[root_].box;
+}
+
+std::size_t RTree::MemoryUsageBytes() const {
+  return entries_.capacity() * sizeof(Entry) + nodes_.capacity() * sizeof(Node);
+}
+
+}  // namespace mio

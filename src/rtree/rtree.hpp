@@ -1,0 +1,81 @@
+// Static R-tree over axis-aligned boxes, bulk-loaded with Sort-Tile-
+// Recursive (STR) packing. Substrate for the MBR baseline: the paper
+// argues (§II-B) that "building minimum bounding rectangle based indices,
+// e.g., R-trees, is not effective, because they would make uselessly
+// large rectangles with large empty spaces" for point-set objects — the
+// RT baseline built on this tree lets the bench harness demonstrate that
+// claim quantitatively instead of taking it on faith.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/aabb.hpp"
+
+namespace mio {
+
+/// Immutable R-tree over (box, payload-id) entries; STR bulk load.
+class RTree {
+ public:
+  struct Entry {
+    Aabb box;
+    std::uint32_t id = 0;
+  };
+
+  /// Builds over the given entries (empty input yields an empty tree).
+  explicit RTree(std::vector<Entry> entries, std::size_t fanout = 16);
+
+  std::size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Invokes f(id) for every entry whose box is within distance r of
+  /// `query` (i.e. min box-to-box distance <= r). f returns false to stop.
+  template <typename F>
+  void ForEachWithin(const Aabb& query, double r, F&& f) const {
+    if (nodes_.empty()) return;
+    double r2 = r * r;
+    // Explicit stack: object trees can be deep at tiny fanout.
+    std::vector<std::int32_t> stack{root_};
+    while (!stack.empty()) {
+      std::int32_t idx = stack.back();
+      stack.pop_back();
+      const Node& node = nodes_[idx];
+      if (node.box.MinSquaredDistanceTo(query) > r2) continue;
+      if (node.IsLeaf()) {
+        for (std::uint32_t e = node.begin; e < node.end; ++e) {
+          if (entries_[e].box.MinSquaredDistanceTo(query) <= r2) {
+            if (!f(entries_[e].id)) return;
+          }
+        }
+      } else {
+        for (std::int32_t c = node.first_child; c >= 0;
+             c = nodes_[c].next_sibling) {
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+
+  /// Root bounding box (invalid when empty).
+  const Aabb& Bounds() const;
+
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  struct Node {
+    Aabb box;
+    std::uint32_t begin = 0;          // leaf: entry range
+    std::uint32_t end = 0;
+    std::int32_t first_child = -1;    // internal: intrusive child list
+    std::int32_t next_sibling = -1;
+    bool IsLeaf() const { return first_child < 0; }
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t num_entries_ = 0;
+  std::size_t fanout_;
+};
+
+}  // namespace mio

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/argparse.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "common/timer.hpp"
+
+namespace mio {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Corruption("bad checksum");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(st.ToString(), "Corruption: bad checksum");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    MIO_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(std::move(bad).ValueOr(-1), -1);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.ElapsedNanos(), 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, ScopedAccumulatorAddsUp) {
+  double total = 0.0;
+  {
+    ScopedAccumulator acc(&total);
+  }
+  double first = total;
+  {
+    ScopedAccumulator acc(&total);
+  }
+  EXPECT_GE(total, first);
+}
+
+TEST(TimerTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.0125), "12.50 ms");
+  EXPECT_EQ(FormatSeconds(2.5e-6), "2.50 us");
+}
+
+TEST(MemoryTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(MemoryTest, BreakdownTotals) {
+  MemoryBreakdown mb;
+  mb.Add("a", 100);
+  mb.Add("b", 28);
+  EXPECT_EQ(mb.Total(), 128u);
+  EXPECT_NE(mb.ToString().find("total="), std::string::npos);
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Pcg32 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Pcg32 a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Pcg32 rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint32_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Pcg32 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Pcg32 rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(ArgParseTest, FlagsAndPositionals) {
+  // Note: `--flag value` greedily binds the next non-flag token, so
+  // valueless boolean flags must use `--flag` at the end or `--flag=1`.
+  const char* argv[] = {"prog",          "--r=4.5", "--threads", "8",
+                        "dataset1",      "--names=a,b,c", "--verbose"};
+  ArgParser args(7, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.GetDouble("r", 0.0), 4.5);
+  EXPECT_EQ(args.GetInt("threads", 1), 8);
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_FALSE(args.GetBool("quiet", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "dataset1");
+  auto names = args.GetStringList("names", {});
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(args.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(ArgParseTest, NumericLists) {
+  const char* argv[] = {"prog", "--r=4,6,8,10", "--k=1,10,100"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetDoubleList("r", {}),
+            (std::vector<double>{4, 6, 8, 10}));
+  EXPECT_EQ(args.GetIntList("k", {}),
+            (std::vector<std::int64_t>{1, 10, 100}));
+  EXPECT_EQ(args.GetIntList("absent", {5}), (std::vector<std::int64_t>{5}));
+}
+
+}  // namespace
+}  // namespace mio

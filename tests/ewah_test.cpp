@@ -1,0 +1,258 @@
+// Differential tests of the EWAH codec against PlainBitset, plus
+// compression-behaviour checks (runs of zeros/ones must compress).
+#include "bitset/ewah.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "bitset/bitset_stats.hpp"
+#include "bitset/plain_bitset.hpp"
+#include "common/random.hpp"
+
+namespace mio {
+namespace {
+
+TEST(EwahTest, StartsEmpty) {
+  Ewah b;
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_EQ(b.SizeInBits(), 0u);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(12345));
+}
+
+TEST(EwahTest, AscendingSetAndTest) {
+  Ewah b;
+  std::vector<std::size_t> idx = {0, 1, 63, 64, 65, 200, 1000, 100000};
+  for (std::size_t i : idx) b.Set(i);
+  for (std::size_t i : idx) EXPECT_TRUE(b.Test(i)) << i;
+  EXPECT_FALSE(b.Test(2));
+  EXPECT_FALSE(b.Test(999));
+  EXPECT_FALSE(b.Test(100001));
+  EXPECT_EQ(b.Count(), idx.size());
+  EXPECT_EQ(b.SizeInBits(), 100001u);
+}
+
+TEST(EwahTest, SetIsIdempotent) {
+  Ewah b;
+  b.Set(100);
+  b.Set(100);
+  b.Set(100);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(EwahTest, SparseBitsetCompresses) {
+  Ewah b;
+  b.Set(0);
+  b.Set(1000000);  // ~15 KiB of zero run in between
+  EXPECT_LT(b.CompressedBytes(), 100u);
+  EXPECT_GT(b.UncompressedBytes(), 100000u);
+}
+
+TEST(EwahTest, DenseRunCompresses) {
+  // 64k consecutive ones: the word-aligned interior must fold into a run.
+  Ewah b;
+  for (std::size_t i = 0; i < 65536; ++i) b.Set(i);
+  EXPECT_EQ(b.Count(), 65536u);
+  EXPECT_LT(b.CompressedBytes(), 64u);
+}
+
+TEST(EwahTest, OutOfOrderSetUsesSlowPathCorrectly) {
+  Ewah b;
+  b.Set(10000);  // creates a long zero run
+  b.Set(5);      // patches inside the run (decompress-recompress path)
+  b.Set(7000);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_TRUE(b.Test(7000));
+  EXPECT_TRUE(b.Test(10000));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(EwahTest, InPlaceSetIntoLiteralWord) {
+  Ewah b;
+  b.Set(3);
+  b.Set(10);  // same word: literal or-in, no structure change
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_TRUE(b.Test(10));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(EwahTest, SetInsideRunOfOnesIsNoop) {
+  Ewah b;
+  for (std::size_t i = 0; i < 200; ++i) b.Set(i);
+  std::size_t bytes = b.CompressedBytes();
+  b.Set(64);  // inside the ones run
+  EXPECT_EQ(b.CompressedBytes(), bytes);
+  EXPECT_EQ(b.Count(), 200u);
+}
+
+TEST(EwahTest, PlainRoundTrip) {
+  Pcg32 rng(11);
+  PlainBitset plain;
+  for (int i = 0; i < 500; ++i) plain.Set(rng.NextBounded(10000));
+  Ewah compressed = Ewah::FromPlain(plain);
+  EXPECT_EQ(compressed.Count(), plain.Count());
+  EXPECT_TRUE(compressed.ToPlain() == plain);
+}
+
+TEST(EwahTest, ForEachSetBitMatchesPlain) {
+  Pcg32 rng(13);
+  Ewah b;
+  PlainBitset ref;
+  std::size_t last = 0;
+  for (int i = 0; i < 300; ++i) {
+    last += 1 + rng.NextBounded(500);
+    b.Set(last);
+    ref.Set(last);
+  }
+  std::vector<std::size_t> got;
+  b.ForEachSetBit([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, ref.SetBits());
+}
+
+TEST(EwahTest, ResetClears) {
+  Ewah b;
+  b.Set(100);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.SizeInBits(), 0u);
+  b.Set(3);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(EwahTest, EqualityIsLogical) {
+  Ewah a, b;
+  a.Set(5);
+  b.Set(5);
+  b.Set(100000);  // differs
+  EXPECT_FALSE(a == b);
+  a.Set(100000);
+  EXPECT_TRUE(a == b);
+}
+
+// --- logical op correctness, differential against PlainBitset -------------
+
+struct OpCase {
+  std::uint64_t seed;
+  double density_a;
+  double density_b;
+  std::size_t universe;
+};
+
+class EwahOpsTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(EwahOpsTest, MatchesPlainBitsetSemantics) {
+  const OpCase& c = GetParam();
+  Pcg32 rng(c.seed);
+  PlainBitset pa, pb;
+  Ewah ea, eb;
+  // Build both representations with ascending sets (the supported fast
+  // path) at the parameterised densities.
+  for (std::size_t i = 0; i < c.universe; ++i) {
+    if (rng.NextDouble() < c.density_a) {
+      pa.Set(i);
+      ea.Set(i);
+    }
+    if (rng.NextDouble() < c.density_b) {
+      pb.Set(i);
+      eb.Set(i);
+    }
+  }
+  ASSERT_TRUE(ea.ToPlain() == pa);
+  ASSERT_TRUE(eb.ToPlain() == pb);
+
+  {
+    Ewah got = Ewah::Or(ea, eb);
+    PlainBitset want = pa;
+    want.OrWith(pb);
+    EXPECT_TRUE(got.ToPlain() == want) << "OR seed=" << c.seed;
+    EXPECT_EQ(got.Count(), want.Count());
+  }
+  {
+    Ewah got = Ewah::And(ea, eb);
+    PlainBitset want = pa;
+    want.AndWith(pb);
+    EXPECT_TRUE(got.ToPlain() == want) << "AND seed=" << c.seed;
+  }
+  {
+    Ewah got = Ewah::AndNot(ea, eb);
+    PlainBitset want = pa;
+    want.AndNotWith(pb);
+    EXPECT_TRUE(got.ToPlain() == want) << "ANDNOT seed=" << c.seed;
+  }
+  {
+    Ewah got = Ewah::Xor(ea, eb);
+    PlainBitset want = pa;
+    want.XorWith(pb);
+    EXPECT_TRUE(got.ToPlain() == want) << "XOR seed=" << c.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, EwahOpsTest,
+    ::testing::Values(
+        OpCase{1, 0.0, 0.0, 1000},      // both empty
+        OpCase{2, 0.001, 0.001, 20000}, // very sparse
+        OpCase{3, 0.01, 0.5, 5000},     // sparse vs dense
+        OpCase{4, 0.5, 0.5, 5000},      // dense
+        OpCase{5, 0.99, 0.99, 5000},    // near-full (ones runs)
+        OpCase{6, 0.2, 0.0, 3000},      // one side empty
+        OpCase{7, 1.0, 0.3, 2000},      // full side
+        OpCase{8, 0.05, 0.05, 100000},  // large sparse
+        OpCase{9, 0.3, 0.7, 777},       // non-word-aligned universe
+        OpCase{10, 0.5, 0.5, 64},       // single word
+        OpCase{11, 0.5, 0.5, 65}));     // word boundary + 1
+
+TEST(EwahOpsTest, DifferentSizesTreatMissingAsZero) {
+  Ewah small, big;
+  small.Set(3);
+  big.Set(3);
+  big.Set(100000);
+  Ewah o = Ewah::Or(small, big);
+  EXPECT_EQ(o.Count(), 2u);
+  Ewah a = Ewah::And(small, big);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(3));
+  Ewah d = Ewah::AndNot(big, small);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(100000));
+}
+
+TEST(EwahOpsTest, OrWithAccumulatorPattern) {
+  // The BIGrid lower bound ORs many cell bitsets into an accumulator.
+  Pcg32 rng(21);
+  Ewah acc;
+  PlainBitset ref;
+  for (int cell = 0; cell < 50; ++cell) {
+    Ewah cell_bits;
+    std::size_t base = rng.NextBounded(5000);
+    for (int j = 0; j < 20; ++j) {
+      std::size_t idx = base + j * (1 + rng.NextBounded(10));
+      cell_bits.Set(idx);
+      ref.Set(idx);
+    }
+    acc.OrWith(cell_bits);
+  }
+  EXPECT_TRUE(acc.ToPlain() == ref);
+}
+
+TEST(EwahStatsTest, CompressionStatsAggregate) {
+  BitsetCompressionStats stats;
+  Ewah sparse;
+  sparse.Set(0);
+  sparse.Set(1000000);
+  stats.Add(sparse);
+  EXPECT_EQ(stats.num_bitsets, 1u);
+  EXPECT_GT(stats.SavingsRatio(), 0.99);
+
+  BitsetCompressionStats other;
+  other.Add(sparse);
+  stats.Merge(other);
+  EXPECT_EQ(stats.num_bitsets, 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace mio

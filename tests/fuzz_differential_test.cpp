@@ -1,0 +1,81 @@
+// Mixed-mode fuzz: random datasets, random query configurations (threads,
+// k, labels, grid reuse, strategies, radii), every answer differentially
+// checked against the NL oracle. One TEST_P instance per seed so failures
+// pinpoint a reproducible configuration.
+#include <gtest/gtest.h>
+
+#include "core/mio_engine.hpp"
+#include "test_utils.hpp"
+
+namespace mio {
+namespace {
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDifferentialTest, RandomConfigurationsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  Pcg32 rng(seed, 0x66757a7aULL);  // "fuzz"
+
+  // Random dataset shape.
+  std::size_t n = 10 + rng.NextBounded(70);
+  std::size_t m_min = 1 + rng.NextBounded(8);
+  std::size_t m_max = m_min + rng.NextBounded(12);
+  double domain = 10.0 + rng.NextDouble() * 100.0;
+  double sigma = 1.0 + rng.NextDouble() * 8.0;
+  bool planar = rng.NextDouble() < 0.3;
+
+  ObjectSet set;
+  {
+    ObjectSet raw =
+        testing::MakeRandomObjects(n, m_min, m_max, domain, seed, sigma);
+    if (planar) {
+      for (const Object& o : raw.objects()) {
+        Object copy = o;
+        for (Point& p : copy.points) p.z = 0.0;
+        set.Add(std::move(copy));
+      }
+    } else {
+      set = std::move(raw);
+    }
+  }
+
+  MioEngine engine(set);
+  // Several queries against one engine: exercises label and grid caches
+  // across radii and mode switches.
+  for (int q = 0; q < 6; ++q) {
+    double r = 0.5 + rng.NextDouble() * 12.0;
+    QueryOptions opt;
+    opt.threads = 1 + static_cast<int>(rng.NextBounded(4));
+    opt.k = 1 + rng.NextBounded(5);
+    opt.use_labels = rng.NextDouble() < 0.5;
+    opt.record_labels = rng.NextDouble() < 0.7;
+    opt.reuse_grid = rng.NextDouble() < 0.5;
+    opt.lb_strategy = rng.NextDouble() < 0.5
+                          ? LbStrategy::kGreedyDivideObjects
+                          : LbStrategy::kHashPartitionPoints;
+    opt.ub_strategy = rng.NextDouble() < 0.5
+                          ? UbStrategy::kCostBasedGreedy
+                          : UbStrategy::kGreedyDivideObjects;
+
+    std::vector<std::uint32_t> exact = testing::OracleScores(set, r);
+    std::vector<ScoredObject> want = TopKFromScores(exact, opt.k);
+
+    QueryResult res = engine.Query(r, opt);
+    ASSERT_EQ(res.topk.size(), want.size())
+        << "seed=" << seed << " q=" << q << " r=" << r;
+    for (std::size_t idx = 0; idx < want.size(); ++idx) {
+      EXPECT_EQ(res.topk[idx].score, want[idx].score)
+          << "seed=" << seed << " q=" << q << " r=" << r << " k=" << opt.k
+          << " threads=" << opt.threads << " labels=" << opt.use_labels
+          << " reuse=" << opt.reuse_grid << " pos=" << idx;
+      EXPECT_EQ(exact[res.topk[idx].id], res.topk[idx].score)
+          << "returned id's true score mismatch, seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mio

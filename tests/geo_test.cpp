@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geo/aabb.hpp"
+#include "geo/cell_key.hpp"
+#include "geo/morton.hpp"
+#include "geo/point.hpp"
+
+namespace mio {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  Point a{0, 0, 0}, b{3, 4, 0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_TRUE(WithinDistance(a, b, 5.0));
+  EXPECT_TRUE(WithinDistance(a, b, 5.0001));
+  EXPECT_FALSE(WithinDistance(a, b, 4.9999));
+}
+
+TEST(CellKeyTest, SmallGridDiagonalEqualsR) {
+  // Two points in the same small cell must be within r: the cell diagonal
+  // is width * sqrt(3) = r exactly (paper Lemma 1's geometric basis).
+  double r = 6.0;
+  double w = SmallGridWidth(r);
+  EXPECT_NEAR(w * std::sqrt(3.0), r, 1e-12);
+  // The worst case: opposite cell corners.
+  Point a{0.0, 0.0, 0.0};
+  Point b{w - 1e-9, w - 1e-9, w - 1e-9};
+  EXPECT_EQ(KeyForWidth(a, w), KeyForWidth(b, w));
+  EXPECT_LE(Distance(a, b), r);
+}
+
+TEST(CellKeyTest, LargeGridWidthIsCeil) {
+  EXPECT_DOUBLE_EQ(LargeGridWidth(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(LargeGridWidth(4.2), 5.0);
+  EXPECT_DOUBLE_EQ(LargeGridWidth(0.3), 1.0);
+  // Every r with the same ceiling shares a large grid (the label-reuse
+  // invariant of paper section III-D).
+  EXPECT_DOUBLE_EQ(LargeGridWidth(4.1), LargeGridWidth(4.9));
+}
+
+TEST(CellKeyTest, NegativeCoordinatesFloor) {
+  // floor semantics: -0.5 at width 1 must land in cell -1, not 0.
+  CellKey k = KeyForWidth(Point{-0.5, -1.0, -1.5}, 1.0);
+  EXPECT_EQ(k.x, -1);
+  EXPECT_EQ(k.y, -1);
+  EXPECT_EQ(k.z, -2);
+}
+
+TEST(CellKeyTest, PointsWithinLargeWidthAreInNeighborhood) {
+  // Core invariant of Lemma 2: if dist(p, q) <= r then q's large cell is
+  // p's cell or one of the 26 neighbours.
+  double r = 7.3;
+  double w = LargeGridWidth(r);
+  Point p{10.1, -3.7, 22.9};
+  for (double dx : {-r, 0.0, r}) {
+    for (double dy : {-r, 0.0, r}) {
+      for (double dz : {-r, 0.0, r}) {
+        Point q{p.x + dx, p.y + dy, p.z + dz};
+        if (Distance(p, q) > r) continue;
+        CellKey kp = KeyForWidth(p, w);
+        CellKey kq = KeyForWidth(q, w);
+        EXPECT_LE(std::abs(kp.x - kq.x), 1);
+        EXPECT_LE(std::abs(kp.y - kq.y), 1);
+        EXPECT_LE(std::abs(kp.z - kq.z), 1);
+      }
+    }
+  }
+}
+
+TEST(CellKeyTest, NeighborhoodEnumeration) {
+  CellKey c{0, 0, 0};
+  std::set<std::tuple<int, int, int>> with_self, without_self;
+  ForEachNeighbor(c, true, [&](const CellKey& k) {
+    with_self.insert({k.x, k.y, k.z});
+  });
+  ForEachNeighbor(c, false, [&](const CellKey& k) {
+    without_self.insert({k.x, k.y, k.z});
+  });
+  EXPECT_EQ(with_self.size(), 27u);
+  EXPECT_EQ(without_self.size(), 26u);
+  EXPECT_TRUE(with_self.count({0, 0, 0}));
+  EXPECT_FALSE(without_self.count({0, 0, 0}));
+  EXPECT_EQ(kNeighborhoodSize, 27);
+}
+
+TEST(CellKeyTest, HashSpreadsDistinctKeys) {
+  CellKeyHash h;
+  std::set<std::size_t> hashes;
+  for (int x = -5; x <= 5; ++x) {
+    for (int y = -5; y <= 5; ++y) {
+      for (int z = -5; z <= 5; ++z) {
+        hashes.insert(h(CellKey{x, y, z}));
+      }
+    }
+  }
+  EXPECT_EQ(hashes.size(), 11u * 11u * 11u);  // no collisions in this cube
+}
+
+TEST(AabbTest, ExtendAndDistance) {
+  Aabb box;
+  EXPECT_FALSE(box.Valid());
+  box.Extend(Point{0, 0, 0});
+  box.Extend(Point{2, 4, 6});
+  EXPECT_TRUE(box.Valid());
+  EXPECT_DOUBLE_EQ(box.ExtentX(), 2.0);
+  EXPECT_DOUBLE_EQ(box.ExtentY(), 4.0);
+  EXPECT_DOUBLE_EQ(box.ExtentZ(), 6.0);
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo(Point{1, 2, 3}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo(Point{5, 4, 6}), 9.0);
+}
+
+TEST(AabbTest, BoxToBoxDistance) {
+  Aabb a, b;
+  a.Extend(Point{0, 0, 0});
+  a.Extend(Point{1, 1, 1});
+  b.Extend(Point{4, 0, 0});
+  b.Extend(Point{5, 1, 1});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistanceTo(b), 9.0);
+  Aabb c;
+  c.Extend(Point{0.5, 0.5, 0.5});
+  c.Extend(Point{6, 6, 6});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistanceTo(c), 0.0);  // overlap
+}
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  for (std::uint32_t x : {0u, 1u, 7u, 255u, 123456u, (1u << 21) - 1}) {
+    for (std::uint32_t y : {0u, 31u, 99999u}) {
+      std::uint32_t z = (x * 7 + y) & ((1u << 21) - 1);
+      std::uint64_t code = MortonEncode3(x, y, z);
+      std::uint32_t rx, ry, rz;
+      MortonDecode3(code, &rx, &ry, &rz);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+      EXPECT_EQ(rz, z);
+    }
+  }
+}
+
+TEST(MortonTest, KeyOrderIsLocalityPreserving) {
+  // Adjacent cells should have closer Morton codes than far cells,
+  // at least in the common case (sanity, not a strict property).
+  std::uint64_t origin = MortonOfKey(CellKey{0, 0, 0});
+  std::uint64_t near = MortonOfKey(CellKey{1, 0, 0});
+  std::uint64_t far = MortonOfKey(CellKey{512, 512, 512});
+  auto dist = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : b - a;
+  };
+  EXPECT_LT(dist(origin, near), dist(origin, far));
+  // Distinct keys, distinct codes.
+  EXPECT_NE(MortonOfKey(CellKey{-1, 2, 3}), MortonOfKey(CellKey{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mio

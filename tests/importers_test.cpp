@@ -1,0 +1,137 @@
+#include "io/importers.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mio {
+namespace {
+
+class ImportersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mio_import_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Write(const std::string& name, const std::string& content) {
+    std::string path = (dir_ / name).string();
+    std::ofstream(path) << content;
+    return path;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ImportersTest, SwcBasicParse) {
+  std::string path = Write("cell.swc",
+                           "# NeuroMorpho-style header\n"
+                           "# more comments\n"
+                           "1 1 0.0 0.0 0.0 5.0 -1\n"
+                           "2 3 1.5 0.5 0.0 0.5 1\n"
+                           "  3 3 3.0 1.0 0.5 0.4 2\n");
+  Result<Object> obj = LoadSwcFile(path);
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  ASSERT_EQ(obj.value().points.size(), 3u);
+  EXPECT_DOUBLE_EQ(obj.value().points[1].x, 1.5);
+  EXPECT_DOUBLE_EQ(obj.value().points[2].z, 0.5);
+}
+
+TEST_F(ImportersTest, SwcRejectsMalformedAndEmpty) {
+  EXPECT_FALSE(LoadSwcFile(Write("bad.swc", "1 1 nonsense\n")).ok());
+  EXPECT_FALSE(LoadSwcFile(Write("empty.swc", "# only comments\n")).ok());
+  EXPECT_FALSE(LoadSwcFile((dir_ / "missing.swc").string()).ok());
+}
+
+TEST_F(ImportersTest, SwcDirectoryLoadsSortedByName) {
+  Write("b.swc", "1 1 10 0 0 1 -1\n");
+  Write("a.swc", "1 1 0 0 0 1 -1\n2 3 1 0 0 1 1\n");
+  Write("notes.txt", "ignore me");
+  Result<ObjectSet> set = LoadSwcDirectory(dir_.string());
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 2u);
+  EXPECT_EQ(set.value()[0].NumPoints(), 2u);  // a.swc first
+  EXPECT_DOUBLE_EQ(set.value()[1].points[0].x, 10.0);
+}
+
+TEST_F(ImportersTest, SwcDirectoryEmptyFails) {
+  EXPECT_FALSE(LoadSwcDirectory(dir_.string()).ok());
+}
+
+TEST_F(ImportersTest, CsvGroupsByIdInFirstAppearanceOrder) {
+  std::string path = Write("tracks.csv",
+                           "id,x,y\n"
+                           "bird7,0.0,0.0\n"
+                           "bird3,5.0,5.0\n"
+                           "bird7,1.0,0.5\n"
+                           "bird3,6.0,5.5\n"
+                           "bird7,2.0,1.0\n");
+  Result<ObjectSet> set = LoadTrajectoryCsv(path);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 2u);
+  EXPECT_EQ(set.value()[0].NumPoints(), 3u);  // bird7 appeared first
+  EXPECT_EQ(set.value()[1].NumPoints(), 2u);
+  EXPECT_DOUBLE_EQ(set.value()[0].points[2].x, 2.0);
+  EXPECT_TRUE(set.value().IsPlanar());  // no z column -> z = 0
+}
+
+TEST_F(ImportersTest, CsvCustomColumnsWithZAndTime) {
+  std::string path = Write("fixes.csv",
+                           "timestamp;lon;lat;alt;animal\n"
+                           "100;1.0;2.0;30.0;fox\n"
+                           "101;1.5;2.5;31.0;fox\n");
+  TrajectoryCsvOptions opt;
+  opt.delimiter = ';';
+  opt.id_column = "animal";
+  opt.x_column = "lon";
+  opt.y_column = "lat";
+  opt.z_column = "alt";
+  opt.time_column = "timestamp";
+  Result<ObjectSet> set = LoadTrajectoryCsv(path, opt);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 1u);
+  const Object& fox = set.value()[0];
+  ASSERT_TRUE(fox.HasTimes());
+  EXPECT_DOUBLE_EQ(fox.points[1].z, 31.0);
+  EXPECT_DOUBLE_EQ(fox.times[0], 100.0);
+}
+
+TEST_F(ImportersTest, CsvSplitsLongTrajectories) {
+  std::string content = "id,x,y\n";
+  for (int i = 0; i < 25; ++i) {
+    content += "t," + std::to_string(i) + ".0,0.0\n";
+  }
+  TrajectoryCsvOptions opt;
+  opt.max_points_per_object = 10;
+  Result<ObjectSet> set = LoadTrajectoryCsv(Write("long.csv", content), opt);
+  ASSERT_TRUE(set.ok());
+  // 25 fixes at <=10 per object: 10 + 10 + 5.
+  ASSERT_EQ(set.value().size(), 3u);
+  EXPECT_EQ(set.value()[0].NumPoints(), 10u);
+  EXPECT_EQ(set.value()[2].NumPoints(), 5u);
+  EXPECT_DOUBLE_EQ(set.value()[2].points[0].x, 20.0);
+}
+
+TEST_F(ImportersTest, CsvErrorCases) {
+  EXPECT_FALSE(LoadTrajectoryCsv((dir_ / "missing.csv").string()).ok());
+  EXPECT_FALSE(LoadTrajectoryCsv(Write("empty.csv", "")).ok());
+  EXPECT_FALSE(
+      LoadTrajectoryCsv(Write("noid.csv", "a,b\n1,2\n")).ok());  // no id/x/y
+  EXPECT_FALSE(
+      LoadTrajectoryCsv(Write("short.csv", "id,x,y\nt,1\n")).ok());
+  EXPECT_FALSE(
+      LoadTrajectoryCsv(Write("badnum.csv", "id,x,y\nt,abc,2\n")).ok());
+  TrajectoryCsvOptions opt;
+  opt.time_column = "nope";
+  EXPECT_FALSE(
+      LoadTrajectoryCsv(Write("not.csv", "id,x,y\nt,1,2\n"), opt).ok());
+}
+
+}  // namespace
+}  // namespace mio

@@ -1,0 +1,207 @@
+// Round-trip and failure-injection tests for dataset files and the
+// external-memory label store.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/labels.hpp"
+#include "io/dataset_io.hpp"
+#include "io/label_store.hpp"
+#include "test_utils.hpp"
+
+namespace mio {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mio_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string PathFor(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+void ExpectSameDataset(const ObjectSet& a, const ObjectSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].NumPoints(), b[i].NumPoints());
+    for (std::size_t j = 0; j < a[i].points.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].points[j].x, b[i].points[j].x);
+      EXPECT_DOUBLE_EQ(a[i].points[j].y, b[i].points[j].y);
+      EXPECT_DOUBLE_EQ(a[i].points[j].z, b[i].points[j].z);
+    }
+    ASSERT_EQ(a[i].times.size(), b[i].times.size());
+    for (std::size_t j = 0; j < a[i].times.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].times[j], b[i].times[j]);
+    }
+  }
+}
+
+TEST_F(IoTest, TextRoundTrip) {
+  ObjectSet set = testing::MakeRandomObjects(10, 3, 8, 20.0, 1);
+  std::string path = PathFor("data.txt");
+  ASSERT_TRUE(SaveDatasetText(set, path).ok());
+  Result<ObjectSet> loaded = LoadDatasetText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDataset(set, loaded.value());
+}
+
+TEST_F(IoTest, TextRoundTripWithTimes) {
+  ObjectSet set = testing::MakeRandomObjects(5, 3, 5, 20.0, 2, 5.0, true);
+  std::string path = PathFor("data_t.txt");
+  ASSERT_TRUE(SaveDatasetText(set, path).ok());
+  Result<ObjectSet> loaded = LoadDatasetText(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameDataset(set, loaded.value());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  ObjectSet set = testing::MakeRandomObjects(20, 2, 10, 30.0, 3, 5.0, true);
+  std::string path = PathFor("data.bin");
+  ASSERT_TRUE(SaveDatasetBinary(set, path).ok());
+  Result<ObjectSet> loaded = LoadDatasetBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDataset(set, loaded.value());
+}
+
+TEST_F(IoTest, LoadMissingFileReportsIOError) {
+  EXPECT_FALSE(LoadDatasetText(PathFor("absent.txt")).ok());
+  EXPECT_FALSE(LoadDatasetBinary(PathFor("absent.bin")).ok());
+}
+
+TEST_F(IoTest, BinaryCorruptionDetected) {
+  ObjectSet set = testing::MakeRandomObjects(5, 4, 4, 20.0, 4);
+  std::string path = PathFor("corrupt.bin");
+  ASSERT_TRUE(SaveDatasetBinary(set, path).ok());
+  // Flip one byte in the middle of the payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(60);
+    char byte = 0x5A;
+    f.write(&byte, 1);
+  }
+  Result<ObjectSet> loaded = LoadDatasetBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, TextBadHeaderDetected) {
+  std::string path = PathFor("bad.txt");
+  std::ofstream(path) << "not-a-dataset at all\n";
+  Result<ObjectSet> loaded = LoadDatasetText(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, TextTruncationDetected) {
+  std::string path = PathFor("trunc.txt");
+  std::ofstream(path) << "mio-dataset v1 2 0\nobject 3\n1 2 3\n";
+  EXPECT_FALSE(LoadDatasetText(path).ok());
+}
+
+// --- label store -----------------------------------------------------------
+
+TEST_F(IoTest, LabelStoreRoundTrip) {
+  ObjectSet set = testing::MakeRandomObjects(8, 3, 6, 20.0, 5);
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  labels.labels[2][1] = label::kMap;          // some pruning happened
+  labels.labels[5][0] &= ~label::kVerify;
+
+  LabelStore store(PathFor("labels"));
+  EXPECT_FALSE(store.Has(5));
+  ASSERT_TRUE(store.Save(5, labels).ok());
+  EXPECT_TRUE(store.Has(5));
+
+  Result<LabelSet> loaded = store.Load(5, set);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().labels, labels.labels);
+}
+
+TEST_F(IoTest, LabelStoreShapeMismatchRejected) {
+  ObjectSet set = testing::MakeRandomObjects(8, 3, 6, 20.0, 6);
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  LabelStore store(PathFor("labels2"));
+  ASSERT_TRUE(store.Save(7, labels).ok());
+
+  ObjectSet other = testing::MakeRandomObjects(9, 3, 6, 20.0, 7);
+  Result<LabelSet> loaded = store.Load(7, other);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, LabelStoreCorruptionDetected) {
+  ObjectSet set = testing::MakeRandomObjects(4, 5, 5, 20.0, 8);
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  LabelStore store(PathFor("labels3"));
+  ASSERT_TRUE(store.Save(3, labels).ok());
+  {
+    // Flip (not overwrite) a payload byte so the change is guaranteed to
+    // differ from the original regardless of file layout.
+    std::fstream f(store.PathFor(3),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(store.Load(3, set).ok());
+}
+
+TEST_F(IoTest, LabelStoreClearRemovesFiles) {
+  ObjectSet set = testing::MakeRandomObjects(3, 2, 2, 10.0, 9);
+  LabelStore store(PathFor("labels4"));
+  ASSERT_TRUE(store.Save(4, LabelSet::MakeAllOnes(set)).ok());
+  ASSERT_TRUE(store.Save(8, LabelSet::MakeAllOnes(set)).ok());
+  store.Clear();
+  EXPECT_FALSE(store.Has(4));
+  EXPECT_FALSE(store.Has(8));
+}
+
+TEST_F(IoTest, LabelStoreKeysAreIndependent) {
+  ObjectSet set = testing::MakeRandomObjects(3, 2, 2, 10.0, 10);
+  LabelSet l4 = LabelSet::MakeAllOnes(set);
+  LabelSet l5 = LabelSet::MakeAllOnes(set);
+  l5.labels[0][0] = 0;
+  LabelStore store(PathFor("labels5"));
+  ASSERT_TRUE(store.Save(4, l4).ok());
+  ASSERT_TRUE(store.Save(5, l5).ok());
+  EXPECT_EQ(store.Load(4, set).value().labels, l4.labels);
+  EXPECT_EQ(store.Load(5, set).value().labels, l5.labels);
+}
+
+TEST(LabelSetTest, Counters) {
+  ObjectSet set;
+  set.Add(Object{{{0, 0, 0}, {1, 1, 1}}, {}});
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  EXPECT_EQ(labels.CountMapPruned(), 0u);
+  EXPECT_EQ(labels.CountAnyPruned(), 0u);
+  labels.labels[0][0] &= ~label::kMap;
+  labels.labels[0][1] &= ~label::kVerify;
+  EXPECT_EQ(labels.CountMapPruned(), 1u);
+  EXPECT_EQ(labels.CountAnyPruned(), 2u);
+  EXPECT_GT(labels.MemoryUsageBytes(), 0u);
+}
+
+TEST(LabelSetTest, EmptySetReturnsAllOnes) {
+  LabelSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Get(3, 7), label::kAll);
+}
+
+}  // namespace
+}  // namespace mio

@@ -1,0 +1,226 @@
+// End-to-end engine tests: BIGrid (all modes) must agree with the NL
+// oracle on the winner's score, and the top-k variant with the oracle's
+// full ranking.
+#include "core/mio_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/query_result.hpp"
+#include "test_utils.hpp"
+
+namespace mio {
+namespace {
+
+struct EngineCase {
+  std::size_t n;
+  std::size_t m_min, m_max;
+  double domain;
+  double cluster_sigma;
+  double r;
+  std::uint64_t seed;
+};
+
+class EngineOracleTest : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  ObjectSet MakeSet() const {
+    const EngineCase& c = GetParam();
+    return testing::MakeRandomObjects(c.n, c.m_min, c.m_max, c.domain, c.seed,
+                                      c.cluster_sigma);
+  }
+};
+
+TEST_P(EngineOracleTest, SerialMatchesOracle) {
+  const EngineCase& c = GetParam();
+  ObjectSet set = MakeSet();
+  std::vector<std::uint32_t> exact = testing::OracleScores(set, c.r);
+  std::uint32_t best = testing::MaxScore(exact);
+
+  MioEngine engine(set);
+  QueryResult res = engine.Query(c.r);
+  ASSERT_FALSE(res.topk.empty());
+  EXPECT_EQ(res.best().score, best);
+  EXPECT_EQ(exact[res.best().id], best);  // the returned id really scores best
+  EXPECT_GT(res.stats.total_seconds, 0.0);
+}
+
+TEST_P(EngineOracleTest, TopKMatchesOracleRanking) {
+  const EngineCase& c = GetParam();
+  ObjectSet set = MakeSet();
+  std::vector<std::uint32_t> exact = testing::OracleScores(set, c.r);
+
+  for (std::size_t k : {2u, 5u, 10u}) {
+    if (k > set.size()) continue;
+    QueryOptions opt;
+    opt.k = k;
+    MioEngine engine(set);
+    QueryResult res = engine.Query(c.r, opt);
+    ASSERT_EQ(res.topk.size(), k);
+
+    std::vector<ScoredObject> want = TopKFromScores(exact, k);
+    for (std::size_t idx = 0; idx < k; ++idx) {
+      // Scores must match position-wise (ids may differ on ties).
+      EXPECT_EQ(res.topk[idx].score, want[idx].score)
+          << "k=" << k << " pos=" << idx;
+      // Each returned id's true score must equal its reported score.
+      EXPECT_EQ(exact[res.topk[idx].id], res.topk[idx].score);
+    }
+    // Descending order.
+    for (std::size_t idx = 1; idx < k; ++idx) {
+      EXPECT_GE(res.topk[idx - 1].score, res.topk[idx].score);
+    }
+  }
+}
+
+TEST_P(EngineOracleTest, LabelRunsMatchOracleAndFirstRun) {
+  const EngineCase& c = GetParam();
+  ObjectSet set = MakeSet();
+  std::vector<std::uint32_t> exact = testing::OracleScores(set, c.r);
+  std::uint32_t best = testing::MaxScore(exact);
+
+  MioEngine engine(set);
+  QueryOptions opt;
+  opt.record_labels = true;
+  opt.use_labels = true;
+
+  QueryResult first = engine.Query(c.r, opt);   // records labels
+  ASSERT_TRUE(engine.HasLabelsFor(c.r));
+  QueryResult second = engine.Query(c.r, opt);  // uses labels
+  QueryResult third = engine.Query(c.r, opt);   // again (stable)
+
+  EXPECT_EQ(first.best().score, best);
+  EXPECT_EQ(second.best().score, best);
+  EXPECT_EQ(third.best().score, best);
+  EXPECT_EQ(exact[second.best().id], best);
+}
+
+TEST_P(EngineOracleTest, LabelsTransferAcrossSameCeilRadii) {
+  const EngineCase& c = GetParam();
+  ObjectSet set = MakeSet();
+  double r1 = c.r;                 // records labels for ceil(r)
+  double r2 = c.r - 0.4;           // same ceiling (r in the sweep is >= 1)
+  if (std::ceil(r1) != std::ceil(r2) || r2 <= 0) GTEST_SKIP();
+
+  MioEngine engine(set);
+  QueryOptions opt;
+  opt.record_labels = true;
+  opt.use_labels = true;
+  engine.Query(r1, opt);
+  ASSERT_TRUE(engine.HasLabelsFor(r2));
+
+  QueryResult res = engine.Query(r2, opt);
+  std::vector<std::uint32_t> exact = testing::OracleScores(set, r2);
+  EXPECT_EQ(res.best().score, testing::MaxScore(exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineOracleTest,
+    ::testing::Values(
+        EngineCase{30, 5, 15, 25.0, 5.0, 4.0, 1},
+        EngineCase{30, 5, 15, 25.0, 5.0, 6.5, 2},
+        EngineCase{30, 5, 15, 25.0, 5.0, 10.0, 3},
+        EngineCase{60, 2, 6, 40.0, 3.0, 3.0, 4},
+        EngineCase{15, 30, 50, 15.0, 7.0, 2.0, 5},   // dense
+        EngineCase{80, 3, 8, 400.0, 2.0, 5.0, 6},    // sparse
+        EngineCase{40, 4, 12, 30.0, 6.0, 1.3, 7}));  // ceil boundary
+
+TEST(EngineEdgeTest, EmptyDataset) {
+  ObjectSet empty;
+  MioEngine engine(empty);
+  QueryResult res = engine.Query(5.0);
+  EXPECT_TRUE(res.topk.empty());
+}
+
+TEST(EngineEdgeTest, InvalidRadius) {
+  ObjectSet set = testing::MakeRandomObjects(5, 2, 4, 10.0, 1);
+  MioEngine engine(set);
+  EXPECT_TRUE(engine.Query(0.0).topk.empty());
+  EXPECT_TRUE(engine.Query(-3.0).topk.empty());
+}
+
+TEST(EngineEdgeTest, SingleObjectScoresZero) {
+  ObjectSet set = testing::MakeRandomObjects(1, 10, 10, 10.0, 2);
+  MioEngine engine(set);
+  QueryResult res = engine.Query(5.0);
+  ASSERT_EQ(res.topk.size(), 1u);
+  EXPECT_EQ(res.best().id, 0u);
+  EXPECT_EQ(res.best().score, 0u);
+}
+
+TEST(EngineEdgeTest, NoInteractionsAnywhere) {
+  // Objects spaced far beyond r: every score is 0; any id is acceptable.
+  ObjectSet set;
+  for (int i = 0; i < 10; ++i) {
+    set.Add(Object{{{i * 1000.0, 0, 0}}, {}});
+  }
+  MioEngine engine(set);
+  QueryResult res = engine.Query(5.0);
+  ASSERT_FALSE(res.topk.empty());
+  EXPECT_EQ(res.best().score, 0u);
+}
+
+TEST(EngineEdgeTest, EveryoneInteractsWithEveryone) {
+  ObjectSet set = testing::MakeRandomObjects(20, 3, 5, 2.0, 3, 0.5);
+  MioEngine engine(set);
+  QueryResult res = engine.Query(50.0);
+  EXPECT_EQ(res.best().score, 19u);
+}
+
+TEST(EngineEdgeTest, KLargerThanNClamps) {
+  ObjectSet set = testing::MakeRandomObjects(5, 2, 4, 10.0, 4);
+  QueryOptions opt;
+  opt.k = 100;
+  MioEngine engine(set);
+  EXPECT_EQ(engine.Query(4.0, opt).topk.size(), 5u);
+}
+
+TEST(EngineEdgeTest, IdenticalObjectsTie) {
+  Object proto{{{1, 1, 1}, {2, 2, 2}}, {}};
+  ObjectSet set;
+  set.Add(proto);
+  set.Add(proto);
+  set.Add(proto);
+  MioEngine engine(set);
+  QueryResult res = engine.Query(1.0);
+  EXPECT_EQ(res.best().score, 2u);
+}
+
+TEST(EngineStatsTest, StatsAreConsistent) {
+  ObjectSet set = testing::MakeRandomObjects(40, 5, 10, 25.0, 5);
+  MioEngine engine(set);
+  QueryOptions opt;
+  opt.collect_compression_stats = true;
+  QueryResult res = engine.Query(5.0, opt);
+  const QueryStats& st = res.stats;
+  EXPECT_GT(st.cells_small, 0u);
+  EXPECT_GT(st.cells_large, 0u);
+  EXPECT_GE(st.num_candidates, st.num_verified);
+  EXPECT_GE(st.num_candidates, 1u);
+  EXPECT_GT(st.index_memory_bytes, 0u);
+  EXPECT_GT(st.compression.num_bitsets, 0u);
+  EXPECT_GE(st.phases.Total(), 0.0);
+  EXPECT_LE(st.phases.Total(), st.total_seconds + 1e-6);
+}
+
+TEST(EngineStatsTest, VerificationIsPrunedVsAllObjects) {
+  // On clustered data the candidate set should be far smaller than n, and
+  // verification should stop well before exhausting the queue.
+  ObjectSet set = testing::MakeRandomObjects(200, 3, 6, 150.0, 6, 2.0);
+  MioEngine engine(set);
+  QueryResult res = engine.Query(4.0);
+  EXPECT_LT(res.stats.num_verified, set.size());
+}
+
+TEST(EngineDeterminismTest, RepeatedQueriesIdentical) {
+  ObjectSet set = testing::MakeRandomObjects(50, 4, 10, 30.0, 7);
+  MioEngine engine(set);
+  QueryResult a = engine.Query(5.0);
+  QueryResult b = engine.Query(5.0);
+  EXPECT_EQ(a.best().id, b.best().id);
+  EXPECT_EQ(a.best().score, b.best().score);
+}
+
+}  // namespace
+}  // namespace mio

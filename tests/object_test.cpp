@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/spatial_hash_grid.hpp"
+#include "object/object_set.hpp"
+#include "object/sampling.hpp"
+#include "test_utils.hpp"
+
+namespace mio {
+namespace {
+
+TEST(ObjectSetTest, StatsMatchContents) {
+  ObjectSet set;
+  set.Add(Object{{{0, 0, 0}, {1, 1, 1}}, {}});
+  set.Add(Object{{{5, 5, 5}, {6, 6, 6}, {7, 7, 7}, {8, 8, 8}}, {}});
+  DatasetStats s = set.Stats();
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_EQ(s.nm, 6u);
+  EXPECT_DOUBLE_EQ(s.m, 3.0);
+  EXPECT_EQ(s.min_points, 2u);
+  EXPECT_EQ(s.max_points, 4u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(ObjectSetTest, BoundsCoverEverything) {
+  ObjectSet set;
+  set.Add(Object{{{-1, 0, 2}}, {}});
+  set.Add(Object{{{10, -5, 8}}, {}});
+  Aabb box = set.Bounds();
+  EXPECT_DOUBLE_EQ(box.min.x, -1);
+  EXPECT_DOUBLE_EQ(box.min.y, -5);
+  EXPECT_DOUBLE_EQ(box.max.x, 10);
+  EXPECT_DOUBLE_EQ(box.max.z, 8);
+}
+
+TEST(ObjectSetTest, EmptyStats) {
+  ObjectSet set;
+  DatasetStats s = set.Stats();
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.nm, 0u);
+}
+
+TEST(SamplingTest, RespectsRate) {
+  ObjectSet set = testing::MakeRandomObjects(100, 5, 10, 50.0, 1);
+  ObjectSet half = SampleObjects(set, 0.5, 7);
+  EXPECT_EQ(half.size(), 50u);
+  ObjectSet all = SampleObjects(set, 1.0, 7);
+  EXPECT_EQ(all.size(), 100u);
+  ObjectSet none = SampleObjects(set, 0.0, 7);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(SamplingTest, DeterministicPerSeed) {
+  ObjectSet set = testing::MakeRandomObjects(60, 3, 6, 50.0, 2);
+  ObjectSet a = SampleObjects(set, 0.4, 11);
+  ObjectSet b = SampleObjects(set, 0.4, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].NumPoints(), b[i].NumPoints());
+    EXPECT_TRUE(a[i].points[0] == b[i].points[0]);
+  }
+}
+
+TEST(SamplingTest, SamplesAreDistinctOriginals) {
+  // Check no object is duplicated: sampled first-points must be unique
+  // (almost surely, for continuous random data).
+  ObjectSet set = testing::MakeRandomObjects(80, 2, 2, 1000.0, 3, 0.1);
+  ObjectSet s = SampleObjects(set, 0.5, 13);
+  std::set<double> first_coords;
+  for (const Object& o : s.objects()) first_coords.insert(o.points[0].x);
+  EXPECT_EQ(first_coords.size(), s.size());
+}
+
+TEST(SpatialHashGridTest, AllPointsRetrievableNearby) {
+  ObjectSet set = testing::MakeRandomObjects(10, 5, 10, 20.0, 4);
+  SpatialHashGrid grid(2.5);
+  grid.Build(set);
+  EXPECT_EQ(grid.NumEntries(), set.Stats().nm);
+  EXPECT_GT(grid.NumCells(), 0u);
+  // Every point must see itself via the neighbourhood scan.
+  for (ObjectId i = 0; i < set.size(); ++i) {
+    for (const Point& p : set[i].points) {
+      bool found = false;
+      grid.ForEachEntryNear(p, [&](const SpatialHashGrid::Entry& e) {
+        if (e.obj == i && e.p == p) {
+          found = false;  // keep scanning unless exact match
+          found = true;
+          return false;   // stop early
+        }
+        return true;
+      });
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(SpatialHashGridTest, NeighborhoodCoversRadius) {
+  // Points within the cell width must be reachable through the 27-cell
+  // neighbourhood scan.
+  SpatialHashGrid grid(3.0);
+  grid.Insert(0, Point{1.0, 1.0, 1.0});
+  grid.Insert(1, Point{3.5, 1.0, 1.0});  // next cell over, within 3.0
+  int seen = 0;
+  grid.ForEachEntryNear(Point{1.0, 1.0, 1.0}, [&](const auto&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(SpatialHashGridTest, CellAtFindsExactCell) {
+  SpatialHashGrid grid(1.0);
+  grid.Insert(3, Point{5.5, 5.5, 5.5});
+  const auto* cell = grid.CellAt(CellKey{5, 5, 5});
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->size(), 1u);
+  EXPECT_EQ((*cell)[0].obj, 3u);
+  EXPECT_EQ(grid.CellAt(CellKey{9, 9, 9}), nullptr);
+  EXPECT_GT(grid.MemoryUsageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mio

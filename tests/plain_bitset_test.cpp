@@ -1,0 +1,154 @@
+#include "bitset/plain_bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hpp"
+
+namespace mio {
+namespace {
+
+TEST(PlainBitsetTest, StartsEmpty) {
+  PlainBitset b;
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(PlainBitsetTest, SetTestClear) {
+  PlainBitset b;
+  b.Set(5);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(6));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(PlainBitsetTest, ClearPastEndIsNoop) {
+  PlainBitset b;
+  b.Set(3);
+  b.Clear(1000);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(PlainBitsetTest, SetIsIdempotent) {
+  PlainBitset b;
+  b.Set(42);
+  b.Set(42);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(PlainBitsetTest, ResizeGrowsOnly) {
+  PlainBitset b(100);
+  EXPECT_EQ(b.SizeInBits(), 100u);
+  b.Resize(50);
+  EXPECT_EQ(b.SizeInBits(), 100u);
+  b.Resize(200);
+  EXPECT_EQ(b.SizeInBits(), 200u);
+}
+
+TEST(PlainBitsetTest, OrWithGrows) {
+  PlainBitset a, b;
+  a.Set(1);
+  b.Set(500);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(500));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(PlainBitsetTest, AndWithDropsOutside) {
+  PlainBitset a, b;
+  a.Set(1);
+  a.Set(70);
+  a.Set(500);
+  b.Set(70);
+  a.AndWith(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(70));
+}
+
+TEST(PlainBitsetTest, AndNotWith) {
+  PlainBitset a, b;
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  b.Set(99);
+  a.AndNotWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(a.Test(3));
+}
+
+TEST(PlainBitsetTest, XorWith) {
+  PlainBitset a, b;
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  a.XorWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(a.Test(3));
+}
+
+TEST(PlainBitsetTest, ForEachSetBitAscending) {
+  PlainBitset b;
+  b.Set(300);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  std::vector<std::size_t> got = b.SetBits();
+  EXPECT_EQ(got, (std::vector<std::size_t>{0, 63, 64, 300}));
+}
+
+TEST(PlainBitsetTest, ResetKeepsCapacityClearsBits) {
+  PlainBitset b;
+  for (std::size_t i = 0; i < 1000; i += 7) b.Set(i);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(3);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(PlainBitsetTest, EqualityIgnoresTrailingZeros) {
+  PlainBitset a, b;
+  a.Set(10);
+  b.Set(10);
+  b.Resize(10000);  // extra zero words
+  EXPECT_TRUE(a == b);
+  b.Set(9999);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PlainBitsetTest, RandomisedAgainstStdSet) {
+  Pcg32 rng(7);
+  PlainBitset b;
+  std::set<std::size_t> ref;
+  for (int i = 0; i < 5000; ++i) {
+    std::size_t idx = rng.NextBounded(4096);
+    if (rng.NextDouble() < 0.7) {
+      b.Set(idx);
+      ref.insert(idx);
+    } else {
+      b.Clear(idx);
+      ref.erase(idx);
+    }
+  }
+  EXPECT_EQ(b.Count(), ref.size());
+  for (std::size_t idx : ref) EXPECT_TRUE(b.Test(idx));
+  std::vector<std::size_t> bits = b.SetBits();
+  EXPECT_EQ(bits, std::vector<std::size_t>(ref.begin(), ref.end()));
+}
+
+}  // namespace
+}  // namespace mio

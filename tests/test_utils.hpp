@@ -1,0 +1,58 @@
+// Shared helpers for the mio test suite: deterministic random datasets and
+// the brute-force oracle every algorithm is differentially tested against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/nested_loop.hpp"
+#include "common/random.hpp"
+#include "object/object_set.hpp"
+
+namespace mio {
+namespace testing {
+
+/// Random object collection: n objects of m_min..m_max points each,
+/// clustered enough (cluster_sigma vs domain) that interactions exist at
+/// single-digit thresholds.
+inline ObjectSet MakeRandomObjects(std::size_t n, std::size_t m_min,
+                                   std::size_t m_max, double domain,
+                                   std::uint64_t seed,
+                                   double cluster_sigma = 5.0,
+                                   bool with_times = false,
+                                   double time_span = 100.0) {
+  Pcg32 rng(seed, 0x7465737473ULL);  // "tests"
+  ObjectSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    double cx = rng.NextDouble(0.0, domain);
+    double cy = rng.NextDouble(0.0, domain);
+    double cz = rng.NextDouble(0.0, domain);
+    std::size_t m =
+        m_min + rng.NextBounded(static_cast<std::uint32_t>(m_max - m_min + 1));
+    Object obj;
+    for (std::size_t j = 0; j < m; ++j) {
+      obj.points.push_back(Point{cx + cluster_sigma * rng.NextGaussian(),
+                                 cy + cluster_sigma * rng.NextGaussian(),
+                                 cz + cluster_sigma * rng.NextGaussian()});
+      if (with_times) obj.times.push_back(rng.NextDouble(0.0, time_span));
+    }
+    set.Add(std::move(obj));
+  }
+  return set;
+}
+
+/// The exact score vector by brute force (NL with early break).
+inline std::vector<std::uint32_t> OracleScores(const ObjectSet& objects,
+                                               double r) {
+  return NestedLoopScores(objects, r, /*threads=*/1);
+}
+
+/// Maximum score in a score vector.
+inline std::uint32_t MaxScore(const std::vector<std::uint32_t>& scores) {
+  std::uint32_t best = 0;
+  for (std::uint32_t s : scores) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace testing
+}  // namespace mio
