@@ -1,0 +1,185 @@
+// Micro-benchmarks of the batch distance kernels (google-benchmark):
+// per-dispatch-tier throughput, AoS-vs-SoA layout comparison, and a
+// batch-size sweep — plus a summary report of the vectorized-over-scalar
+// speedup on a large batch (the kernel layer's headline number).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/cpu_features.hpp"
+#include "common/random.hpp"
+#include "geo/kernels.hpp"
+#include "geo/point.hpp"
+
+namespace {
+
+using mio::KernelTier;
+using mio::Point;
+using mio::SoaPoints;
+
+/// A reproducible batch where roughly half the points are within r.
+struct Workload {
+  Point q{0.0, 0.0, 0.0};
+  SoaPoints soa;
+  std::vector<Point> aos;
+  double r2 = 0.0;
+
+  explicit Workload(std::size_t n, std::uint64_t seed = 42) {
+    mio::Pcg32 rng(seed, n);
+    aos.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      aos.push_back(Point{rng.NextDouble(-10, 10), rng.NextDouble(-10, 10),
+                          rng.NextDouble(-10, 10)});
+    }
+    soa.Assign(aos);
+    double r = 8.0;  // ~half of the uniform cube is within 8 of the centre
+    r2 = r * r;
+  }
+};
+
+std::size_t CountForTier(KernelTier tier, const Workload& w) {
+  switch (tier) {
+    case KernelTier::kSse2:
+      return mio::kernel_detail::CountWithinSse2(
+          w.q, w.soa.xs.data(), w.soa.ys.data(), w.soa.zs.data(), w.soa.size(),
+          w.r2);
+    case KernelTier::kAvx2:
+      return mio::kernel_detail::CountWithinAvx2(
+          w.q, w.soa.xs.data(), w.soa.ys.data(), w.soa.zs.data(), w.soa.size(),
+          w.r2);
+    default:
+      return mio::kernel_detail::CountWithinScalar(
+          w.q, w.soa.xs.data(), w.soa.ys.data(), w.soa.zs.data(), w.soa.size(),
+          w.r2);
+  }
+}
+
+bool TierRunnable(KernelTier tier) {
+  return static_cast<int>(tier) <= static_cast<int>(mio::BestSupportedTier());
+}
+
+// --- Per-tier CountWithin throughput, batch-size sweep --------------------
+
+void BM_CountWithinTier(benchmark::State& state) {
+  KernelTier tier = static_cast<KernelTier>(state.range(0));
+  if (!TierRunnable(tier)) {
+    state.SkipWithError("tier unsupported on this CPU");
+    return;
+  }
+  Workload w(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountForTier(tier, w));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+  state.SetLabel(mio::KernelTierName(tier));
+}
+BENCHMARK(BM_CountWithinTier)
+    ->ArgsProduct({{0, 1, 2}, {4, 16, 64, 256, 4096}});
+
+// --- AnyWithin: early-exit variant, hit at a controlled depth -------------
+
+void BM_AnyWithinTier(benchmark::State& state) {
+  KernelTier tier = static_cast<KernelTier>(state.range(0));
+  if (!TierRunnable(tier)) {
+    state.SkipWithError("tier unsupported on this CPU");
+    return;
+  }
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  Workload w(n);
+  // Push every point out of range, then plant one hit at 3/4 depth so the
+  // scan length is deterministic.
+  for (std::size_t i = 0; i < n; ++i) {
+    w.soa.xs[i] += 100.0;
+  }
+  std::size_t hit = (3 * n) / 4;
+  w.soa.xs[hit] = 1.0;
+  w.soa.ys[hit] = 1.0;
+  w.soa.zs[hit] = 1.0;
+
+  KernelTier prev = mio::ActiveKernelTier();
+  mio::SetKernelTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mio::AnyWithin(w.q, w.soa.xs.data(),
+                                            w.soa.ys.data(), w.soa.zs.data(),
+                                            n, w.r2));
+  }
+  mio::SetKernelTier(prev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(hit + 1));
+  state.SetLabel(mio::KernelTierName(tier));
+}
+BENCHMARK(BM_AnyWithinTier)->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}});
+
+// --- AoS vs SoA: the layout half of the optimisation ----------------------
+
+void BM_CountAoS(benchmark::State& state) {
+  Workload w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (const Point& p : w.aos) {
+      if (mio::SquaredDistance(w.q, p) <= w.r2) ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CountAoS)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_CountSoADispatched(benchmark::State& state) {
+  Workload w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mio::CountWithin(w.q, w.soa.xs.data(),
+                                              w.soa.ys.data(),
+                                              w.soa.zs.data(), w.soa.size(),
+                                              w.r2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CountSoADispatched)->Arg(256)->Arg(4096)->Arg(65536);
+
+// --- Headline summary ------------------------------------------------------
+
+/// Measures one tier's batch-count throughput in points/second.
+double MeasureThroughput(KernelTier tier, const Workload& w) {
+  using Clock = std::chrono::steady_clock;
+  // Warm up, then time enough repetitions for a stable reading.
+  std::size_t sink = 0;
+  for (int i = 0; i < 16; ++i) sink += CountForTier(tier, w);
+  int reps = 2000;
+  auto start = Clock::now();
+  for (int i = 0; i < reps; ++i) sink += CountForTier(tier, w);
+  std::chrono::duration<double> dt = Clock::now() - start;
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(w.soa.size()) * reps / dt.count();
+}
+
+void PrintSpeedupReport() {
+  std::printf("\n==== Kernel dispatch summary ====\n");
+  std::printf("best supported tier: %s, active tier: %s\n",
+              mio::KernelTierName(mio::BestSupportedTier()),
+              mio::KernelTierName(mio::ActiveKernelTier()));
+  Workload w(16384);
+  double scalar = MeasureThroughput(KernelTier::kScalar, w);
+  std::printf("%-8s %14.0f points/s   1.00x\n", "scalar", scalar);
+  for (KernelTier tier : {KernelTier::kSse2, KernelTier::kAvx2}) {
+    if (!TierRunnable(tier)) continue;
+    double tput = MeasureThroughput(tier, w);
+    std::printf("%-8s %14.0f points/s   %.2fx\n", mio::KernelTierName(tier),
+                tput, tput / scalar);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  PrintSpeedupReport();
+  return 0;
+}

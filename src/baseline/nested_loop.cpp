@@ -8,23 +8,28 @@
 
 namespace mio {
 
-bool ObjectsInteract(const Object& a, const Object& b, double r,
+bool ObjectsInteract(const Object& a, const SoaPoints& b, double r,
                      std::size_t* dist_comps) {
   double r2 = r * r;
   std::size_t comps = 0;
   bool hit = false;
   for (const Point& pa : a.points) {
-    for (const Point& pb : b.points) {
-      ++comps;
-      if (SquaredDistance(pa, pb) <= r2) {
-        hit = true;
-        break;
-      }
+    std::ptrdiff_t idx =
+        AnyWithin(pa, b.xs.data(), b.ys.data(), b.zs.data(), b.size(), r2);
+    if (idx >= 0) {
+      comps += static_cast<std::size_t>(idx) + 1;
+      hit = true;
+      break;
     }
-    if (hit) break;
+    comps += b.size();
   }
   if (dist_comps != nullptr) *dist_comps += comps;
   return hit;
+}
+
+bool ObjectsInteract(const Object& a, const Object& b, double r,
+                     std::size_t* dist_comps) {
+  return ObjectsInteract(a, SoaPoints(b.points), r, dist_comps);
 }
 
 std::vector<std::uint32_t> NestedLoopScores(const ObjectSet& objects, double r,
@@ -35,11 +40,17 @@ std::vector<std::uint32_t> NestedLoopScores(const ObjectSet& objects, double r,
   threads = ResolveThreads(threads);
   std::size_t total_comps = 0;
 
+  // SoA mirrors, built once: the inner predicate is then one batch-kernel
+  // call per probe point instead of a scalar AoS scan.
+  std::vector<SoaPoints> soa(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    soa[i].Assign(objects[static_cast<ObjectId>(i)].points);
+  }
+
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
-        if (ObjectsInteract(objects[static_cast<ObjectId>(i)],
-                            objects[static_cast<ObjectId>(j)], r,
+        if (ObjectsInteract(objects[static_cast<ObjectId>(i)], soa[j], r,
                             dist_comps != nullptr ? &total_comps : nullptr)) {
           ++tau[i];
           ++tau[j];
@@ -57,8 +68,7 @@ std::vector<std::uint32_t> NestedLoopScores(const ObjectSet& objects, double r,
     for (std::size_t i = 0; i < n; ++i) {
       int t = ThreadId();
       for (std::size_t j = i + 1; j < n; ++j) {
-        if (ObjectsInteract(objects[static_cast<ObjectId>(i)],
-                            objects[static_cast<ObjectId>(j)], r,
+        if (ObjectsInteract(objects[static_cast<ObjectId>(i)], soa[j], r,
                             dist_comps != nullptr ? &local_comps[t] : nullptr)) {
           ++local[t][i];
           ++local[t][j];

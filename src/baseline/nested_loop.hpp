@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/query_result.hpp"
+#include "geo/kernels.hpp"
 #include "object/object_set.hpp"
 
 namespace mio {
@@ -29,6 +30,14 @@ QueryResult NestedLoopQuery(const ObjectSet& objects, double r,
 /// True iff objects a and b interact at threshold r (early-exit pairwise
 /// scan). Shared by NL and the test oracles.
 bool ObjectsInteract(const Object& a, const Object& b, double r,
+                     std::size_t* dist_comps = nullptr);
+
+/// The kernel-routed form: probes each point of `a` against b's SoA
+/// coordinate arrays with one AnyWithin batch call. NL builds the SoA
+/// mirrors once per query and calls this in its pair loop, so the
+/// baseline's pairwise predicate runs through the same dispatch tiers as
+/// BIGrid's verification.
+bool ObjectsInteract(const Object& a, const SoaPoints& b, double r,
                      std::size_t* dist_comps = nullptr);
 
 }  // namespace mio

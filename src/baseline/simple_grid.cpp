@@ -2,6 +2,7 @@
 
 #include "common/omp_utils.hpp"
 #include "common/timer.hpp"
+#include "geo/kernels.hpp"
 #include "grid/spatial_hash_grid.hpp"
 
 namespace mio {
@@ -29,15 +30,22 @@ std::uint32_t ScoreOne(const ObjectSet& objects, const SpatialHashGrid& grid,
   std::uint32_t count = 0;
   std::size_t comps = 0;
   for (const Point& p : objects[i].points) {
-    grid.ForEachEntryNear(p, [&](const SpatialHashGrid::Entry& e) {
+    grid.ForEachCellNear(p, [&](const SpatialHashGrid::Cell& cell) {
       // A partner already counted needs no further distance checks (the
       // early break of Algorithm 1); misses stay candidates, since a
-      // later point pair may still be within r.
-      if (counted->Test(e.obj)) return true;
-      ++comps;
-      if (SquaredDistance(p, e.p) <= r2) {
-        ++count;
-        counted->Mark(e.obj);
+      // later point pair may still be within r. Runs group one object's
+      // points, so the skip and the batch-kernel scan are per run.
+      for (std::size_t ri = 0; ri < cell.NumRuns(); ++ri) {
+        SpatialHashGrid::Run run = cell.RunAt(ri);
+        if (counted->Test(run.obj)) continue;
+        std::ptrdiff_t hit = AnyWithin(p, run.xs, run.ys, run.zs, run.size, r2);
+        if (hit >= 0) {
+          comps += static_cast<std::size_t>(hit) + 1;
+          ++count;
+          counted->Mark(run.obj);
+        } else {
+          comps += run.size;
+        }
       }
       return true;
     });

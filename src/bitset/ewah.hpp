@@ -106,6 +106,9 @@ class Ewah {
 
   /// Decompresses to an uncompressed bitset.
   PlainBitset ToPlain() const;
+  /// Decompresses into an existing bitset (cleared first), reusing its
+  /// capacity — the allocation-free variant for hot-path scratch reuse.
+  void DecodeInto(PlainBitset* out) const;
   /// Compresses an uncompressed bitset.
   static Ewah FromPlain(const PlainBitset& plain);
 

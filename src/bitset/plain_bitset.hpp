@@ -4,6 +4,7 @@
 // reference implementation for differential-testing the EWAH codec.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -46,6 +47,14 @@ class PlainBitset {
 
   /// Zeroes all bits, keeping capacity.
   void Reset();
+
+  /// Overwrites 64-bit word `word_idx` wholesale (grows if needed). Bulk
+  /// decode path: EWAH decompression writes whole words, not bits.
+  void AssignWord(std::size_t word_idx, std::uint64_t value) {
+    EnsureWord(word_idx);
+    words_[word_idx] = value;
+    size_in_bits_ = std::max(size_in_bits_, (word_idx + 1) * 64);
+  }
 
   /// Invokes f(index) for each set bit in ascending order.
   template <typename F>

@@ -1,0 +1,58 @@
+#include "common/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MIO_X86 1
+#else
+#define MIO_X86 0
+#endif
+
+namespace mio {
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kSse2:
+      return "sse2";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+bool ParseKernelTier(const std::string& name, KernelTier* out) {
+  if (name == "scalar") {
+    *out = KernelTier::kScalar;
+  } else if (name == "sse2") {
+    *out = KernelTier::kSse2;
+  } else if (name == "avx2") {
+    *out = KernelTier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+KernelTier ProbeBestTier() {
+#if MIO_X86
+  __builtin_cpu_init();
+  // The avx2 tier uses only AVX2 integer/double ops, but is gated on FMA
+  // too so the tier name matches the usual "AVX2+FMA" capability class.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return KernelTier::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse2")) return KernelTier::kSse2;
+#endif
+  return KernelTier::kScalar;
+}
+
+}  // namespace
+
+KernelTier BestSupportedTier() {
+  static const KernelTier tier = ProbeBestTier();
+  return tier;
+}
+
+}  // namespace mio

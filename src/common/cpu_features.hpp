@@ -1,0 +1,29 @@
+// Runtime CPU capability detection for the geometry kernel layer
+// (src/geo/kernels.hpp). Dispatch tiers are strictly ordered: every tier
+// is a superset of the one below it, so clamping an override to the best
+// supported tier is always sound.
+#pragma once
+
+#include <string>
+
+namespace mio {
+
+/// Instruction-set tiers of the batch distance kernels, worst to best.
+/// kSse2 and kAvx2 exist only on x86; other architectures report kScalar.
+enum class KernelTier : int {
+  kScalar = 0,  ///< portable C++, no intrinsics
+  kSse2 = 1,    ///< 128-bit lanes (2 doubles); baseline on x86-64
+  kAvx2 = 2,    ///< 256-bit lanes (4 doubles); requires AVX2 + FMA
+};
+
+/// Human-readable tier name ("scalar" / "sse2" / "avx2").
+const char* KernelTierName(KernelTier tier);
+
+/// Parses a tier name as accepted by the MIO_KERNEL environment variable.
+/// Returns false (and leaves *out untouched) on an unknown name.
+bool ParseKernelTier(const std::string& name, KernelTier* out);
+
+/// Best tier this CPU supports, probed once via cpuid and cached.
+KernelTier BestSupportedTier();
+
+}  // namespace mio

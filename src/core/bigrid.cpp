@@ -13,27 +13,34 @@ namespace mio {
 void LargeCell::AddPostingPoint(ObjectId obj, const Point& p) {
   if (post_obj.empty() || post_obj.back() != obj) {
     post_obj.push_back(obj);
-    post_start.push_back(static_cast<std::uint32_t>(post_points.size()));
+    post_start.push_back(static_cast<std::uint32_t>(post_xs.size()));
   }
-  post_points.push_back(p);
+  post_xs.push_back(p.x);
+  post_ys.push_back(p.y);
+  post_zs.push_back(p.z);
 }
 
-std::span<const Point> LargeCell::Posting(ObjectId obj) const {
-  auto it = std::lower_bound(post_obj.begin(), post_obj.end(), obj);
-  if (it == post_obj.end() || *it != obj) return {};
-  std::size_t idx = static_cast<std::size_t>(it - post_obj.begin());
+PostingView LargeCell::PostingAt(std::size_t idx) const {
   std::uint32_t begin = post_start[idx];
   std::uint32_t end = idx + 1 < post_start.size()
                           ? post_start[idx + 1]
-                          : static_cast<std::uint32_t>(post_points.size());
-  return {post_points.data() + begin, end - begin};
+                          : static_cast<std::uint32_t>(post_xs.size());
+  return PostingView{post_xs.data() + begin, post_ys.data() + begin,
+                     post_zs.data() + begin, end - begin};
+}
+
+PostingView LargeCell::Posting(ObjectId obj) const {
+  auto it = std::lower_bound(post_obj.begin(), post_obj.end(), obj);
+  if (it == post_obj.end() || *it != obj) return {};
+  return PostingAt(static_cast<std::size_t>(it - post_obj.begin()));
 }
 
 std::size_t LargeCell::MemoryUsageBytes() const {
   return bits.MemoryUsageBytes() + (adj_computed ? adj.MemoryUsageBytes() : 0) +
          post_obj.capacity() * sizeof(ObjectId) +
          post_start.capacity() * sizeof(std::uint32_t) +
-         post_points.capacity() * sizeof(Point);
+         (post_xs.capacity() + post_ys.capacity() + post_zs.capacity()) *
+             sizeof(double);
 }
 
 // ---------------------------------------------------------------------------

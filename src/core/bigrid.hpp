@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -57,9 +56,24 @@ struct SmallCell {
   std::uint32_t num_objects = 0;
 };
 
+/// Structure-of-arrays view over one posting list: three parallel
+/// coordinate spans, consumable directly by the batch kernels
+/// (geo/kernels.hpp) with zero pointer chasing.
+struct PostingView {
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  const double* zs = nullptr;
+  std::size_t size = 0;
+
+  bool empty() const { return size == 0; }
+  Point operator[](std::size_t i) const { return Point{xs[i], ys[i], zs[i]}; }
+};
+
 /// One large-grid cell: bitset, lazy neighbourhood bitset, and the
 /// inverted list I(c) stored as postings grouped by object id (ascending,
-/// because the build visits objects in id order).
+/// because the build visits objects in id order). Posting coordinates are
+/// kept structure-of-arrays (contiguous xs/ys/zs) so verification's inner
+/// loop is one batch-kernel call per (point, candidate-object) pair.
 struct LargeCell {
   Ewah bits;
 
@@ -71,14 +85,22 @@ struct LargeCell {
 
   std::vector<ObjectId> post_obj;        ///< distinct object ids, ascending
   std::vector<std::uint32_t> post_start; ///< post_obj-parallel offsets
-  std::vector<Point> post_points;        ///< concatenated postings
+  std::vector<double> post_xs;           ///< concatenated posting xs
+  std::vector<double> post_ys;           ///< concatenated posting ys
+  std::vector<double> post_zs;           ///< concatenated posting zs
 
   /// Appends a point to object `obj`'s posting (obj must be >= the last
   /// object added — the ascending build order).
   void AddPostingPoint(ObjectId obj, const Point& p);
 
   /// Posting list I(c)[obj], empty when the object has no points here.
-  std::span<const Point> Posting(ObjectId obj) const;
+  PostingView Posting(ObjectId obj) const;
+
+  /// Posting list of post_obj[idx] (no binary search).
+  PostingView PostingAt(std::size_t idx) const;
+
+  /// Total points stored across all postings.
+  std::size_t NumPostingPoints() const { return post_xs.size(); }
 
   std::size_t MemoryUsageBytes() const;
 };

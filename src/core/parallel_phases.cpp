@@ -328,11 +328,15 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
   // lower-bound union before distributing any points.
   std::vector<char> group_alive(groups.size(), 1);
   if (lb_bitset != nullptr) {
-#pragma omp parallel for schedule(static) num_threads(threads)
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      PlainBitset b = grid.FindLarge(groups[g].key)->adj.ToPlain();
-      b.AndNotWith(seed);
-      group_alive[g] = b.Count() > 0 ? 1 : 0;
+#pragma omp parallel num_threads(threads)
+    {
+      PlainBitset b;  // per-thread decode scratch
+#pragma omp for schedule(static)
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        grid.FindLarge(groups[g].key)->adj.DecodeInto(&b);
+        b.AndNotWith(seed);
+        group_alive[g] = b.Count() > 0 ? 1 : 0;
+      }
     }
   }
 
@@ -369,13 +373,14 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
   {
     int t = ThreadId();
     accs[t] = seed;
+    PlainBitset b_scratch;  // per-core candidate-set scratch
     for (const auto& [g, j] : tasks[t]) {
       if (use_labels != nullptr) {
         std::uint8_t l = use_labels->Get(i, j);
         if ((l & label::kMap) == 0) continue;
         if (use_verify_bit && (l & label::kVerify) == 0) continue;
       }
-      VerifyPoint(grid, i, j, &accs[t], record_labels, &comps[t]);
+      VerifyPoint(grid, i, j, &accs[t], &b_scratch, record_labels, &comps[t]);
     }
   }
 

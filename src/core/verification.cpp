@@ -2,33 +2,44 @@
 
 #include <algorithm>
 
+#include "geo/kernels.hpp"
+
 namespace mio {
 
 // ---------------------------------------------------------------------------
 // TopKTracker
 // ---------------------------------------------------------------------------
 
+void TopKTracker::RecomputeWorst() {
+  worst_idx_ = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].score < entries_[worst_idx_].score) worst_idx_ = i;
+  }
+}
+
 long long TopKTracker::Threshold() const {
   if (entries_.size() < k_) return -1;
-  long long worst = entries_.front().score;
-  for (const ScoredObject& e : entries_) {
-    worst = std::min(worst, static_cast<long long>(e.score));
-  }
-  return worst;
+  return static_cast<long long>(entries_[worst_idx_].score);
 }
 
 void TopKTracker::Offer(ObjectId id, std::uint32_t score) {
   if (entries_.size() < k_) {
+    // Keep the worst index current during the fill so Threshold() is O(1)
+    // the moment the tracker reaches capacity.
+    if (entries_.empty() || score < entries_[worst_idx_].score) {
+      worst_idx_ = entries_.size();
+    }
     entries_.push_back(ScoredObject{id, score});
     return;
   }
   // Replace the worst entry if strictly beaten (ties keep the incumbent:
-  // the paper breaks ties arbitrarily).
-  std::size_t worst = 0;
-  for (std::size_t i = 1; i < entries_.size(); ++i) {
-    if (entries_[i].score < entries_[worst].score) worst = i;
+  // the paper breaks ties arbitrarily). Only a replacement invalidates the
+  // cached worst index, so large-k sweeps stop paying k comparisons per
+  // candidate that fails the threshold.
+  if (score > entries_[worst_idx_].score) {
+    entries_[worst_idx_] = ScoredObject{id, score};
+    RecomputeWorst();
   }
-  if (score > entries_[worst].score) entries_[worst] = ScoredObject{id, score};
 }
 
 std::vector<ScoredObject> TopKTracker::Sorted() const {
@@ -46,8 +57,8 @@ std::vector<ScoredObject> TopKTracker::Sorted() const {
 // ---------------------------------------------------------------------------
 
 void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
-                 PlainBitset* acc, LabelSet* record_labels,
-                 std::size_t* dist_comps) {
+                 PlainBitset* acc, PlainBitset* b_scratch,
+                 LabelSet* record_labels, std::size_t* dist_comps) {
   const Point& p = grid.objects()[i].points[point_idx];
   const double r2 = grid.r() * grid.r();
   CellKey key = KeyForWidth(p, grid.large_width());
@@ -55,8 +66,11 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
   // b_adj may be missing here — compute it first (paper §III-D).
   LargeCell& cell = grid.EnsureAdj(key);
 
-  // b <- b_adj(c) - b(o_i): candidates not yet confirmed.
-  PlainBitset b = cell.adj.ToPlain();
+  // b <- b_adj(c) - b(o_i): candidates not yet confirmed. Decoded into the
+  // caller's scratch bitset, so steady-state verification allocates
+  // nothing per point.
+  PlainBitset& b = *b_scratch;
+  cell.adj.DecodeInto(&b);
   b.AndNotWith(*acc);
   std::size_t remaining = b.Count();
   if (remaining == 0) {
@@ -72,22 +86,25 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
   std::size_t comps = 0;
   // Scan the cell itself, then its neighbours, stopping as soon as no
   // candidate remains near p. Postings are only touched for set bits of
-  // b (Algorithm 6 line 13).
+  // b (Algorithm 6 line 13); each touched posting is one batch-kernel
+  // call over its contiguous SoA coordinates.
   auto scan_cell = [&](const CellKey& ck) -> bool {  // false = stop
     const LargeCell* c = grid.FindLarge(ck);
     if (c == nullptr) return true;
-    for (ObjectId obj : c->post_obj) {
+    for (std::size_t oi = 0; oi < c->post_obj.size(); ++oi) {
+      ObjectId obj = c->post_obj[oi];
       if (!b.Test(obj)) continue;
-      for (const Point& q : c->Posting(obj)) {
-        ++comps;
-        if (SquaredDistance(p, q) <= r2) {
-          acc->Set(obj);
-          b.Clear(obj);
-          --remaining;
-          break;
-        }
+      PostingView posting = c->PostingAt(oi);
+      std::ptrdiff_t hit =
+          AnyWithin(p, posting.xs, posting.ys, posting.zs, posting.size, r2);
+      if (hit >= 0) {
+        comps += static_cast<std::size_t>(hit) + 1;
+        acc->Set(obj);
+        b.Clear(obj);
+        if (--remaining == 0) return false;
+      } else {
+        comps += posting.size;
       }
-      if (remaining == 0) return false;
     }
     return true;
   };
@@ -103,7 +120,8 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
 
 std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
                          LabelSet* record_labels, const Ewah* lb_bitset,
-                         std::size_t* dist_comps, bool use_verify_bit) {
+                         std::size_t* dist_comps, bool use_verify_bit,
+                         PlainBitset* b_scratch) {
   const Object& o = grid.objects()[i];
 
   // b(o_i): confirmed interaction partners (plus bit i). With labels it is
@@ -112,6 +130,9 @@ std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
   PlainBitset acc =
       lb_bitset != nullptr ? lb_bitset->ToPlain() : PlainBitset();
   acc.Set(i);
+
+  PlainBitset local_scratch;
+  if (b_scratch == nullptr) b_scratch = &local_scratch;
 
   for (std::size_t j = 0; j < o.points.size(); ++j) {
     if (use_labels != nullptr) {
@@ -123,7 +144,7 @@ std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
       if ((l & label::kMap) == 0) continue;
       if (use_verify_bit && (l & label::kVerify) == 0) continue;
     }
-    VerifyPoint(grid, i, j, &acc, record_labels, dist_comps);
+    VerifyPoint(grid, i, j, &acc, b_scratch, record_labels, dist_comps);
   }
 
   std::size_t count = acc.Count();
@@ -143,6 +164,7 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
                                        QueryStats* stats,
                                        bool use_verify_bit) {
   TopKTracker tracker(k);
+  PlainBitset b_scratch;  // reused across every verified point
   for (ObjectId i : ub.candidates) {
     // Early termination (Corollary 1): the queue is sorted by descending
     // upper bound, so once the front cannot beat the k-th best exact
@@ -153,7 +175,7 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
     std::uint32_t score = ExactScore(
         grid, i, use_labels, record_labels, lb,
         stats != nullptr ? &stats->distance_computations : nullptr,
-        use_verify_bit);
+        use_verify_bit, &b_scratch);
     if (stats != nullptr) ++stats->num_verified;
     tracker.Offer(i, score);
   }

@@ -21,20 +21,28 @@ namespace mio {
 /// Processes one point of object i during exact scoring: computes the
 /// unconfirmed-candidate set b = b_adj - acc, performs Labeling-3 when
 /// recording, and scans the 27-cell neighbourhood's postings, folding
-/// confirmed partners into `acc`. Shared by the serial and parallel
-/// verification paths (the parallel path passes per-core accumulators).
+/// confirmed partners into `acc`. Each touched posting is evaluated with
+/// one batch distance-kernel call over its SoA coordinates
+/// (geo/kernels.hpp). `b_scratch` is caller-owned scratch the candidate
+/// set is decoded into — reusing one bitset across points removes the
+/// per-point allocation this function otherwise dominates on. Shared by
+/// the serial and parallel verification paths (the parallel path passes
+/// per-core accumulators and scratch).
 void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
-                 PlainBitset* acc, LabelSet* record_labels,
-                 std::size_t* dist_comps);
+                 PlainBitset* acc, PlainBitset* b_scratch,
+                 LabelSet* record_labels, std::size_t* dist_comps);
 
 /// Exact score of a single object via the large grid (the body of
 /// Algorithm 6's loop). `use_labels` activates the 1*1 point filter;
 /// `record_labels` performs Labeling-3; `lb_bitset` (with-label mode)
 /// seeds the accumulator with the lower-bound union; `dist_comps`
-/// accumulates distance evaluations.
+/// accumulates distance evaluations. `b_scratch` (optional) is reused
+/// scratch for VerifyPoint's candidate set; pass one bitset across many
+/// ExactScore calls to keep verification allocation-free.
 std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
                          LabelSet* record_labels, const Ewah* lb_bitset,
-                         std::size_t* dist_comps, bool use_verify_bit = true);
+                         std::size_t* dist_comps, bool use_verify_bit = true,
+                         PlainBitset* b_scratch = nullptr);
 
 /// Best-first verification of the candidate queue; returns the top-k
 /// objects by exact score, descending.
@@ -63,8 +71,12 @@ class TopKTracker {
   std::vector<ScoredObject> Sorted() const;
 
  private:
+  void RecomputeWorst();
+
   std::size_t k_;
   std::vector<ScoredObject> entries_;  // unsorted, size <= k_
+  std::size_t worst_idx_ = 0;  // index of the current worst entry; valid
+                               // whenever entries_ is non-empty
 };
 
 }  // namespace mio

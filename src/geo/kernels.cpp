@@ -1,0 +1,357 @@
+#include "geo/kernels.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MIO_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define MIO_X86_KERNELS 0
+#endif
+
+namespace mio {
+namespace kernel_detail {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. Compiled with auto-vectorization disabled: this
+// tier is the portable reference the SIMD tiers are validated (and
+// benchmarked) against, so its codegen must not silently depend on what
+// the host compiler vectorizes. Results are unaffected either way — GCC
+// vectorizes IEEE-strictly — only the baseline's speed is pinned down.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define MIO_NO_AUTOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define MIO_NO_AUTOVEC
+#endif
+
+MIO_NO_AUTOVEC
+std::ptrdiff_t AnyWithinScalar(const Point& q, const double* xs,
+                               const double* ys, const double* zs,
+                               std::size_t n, double r2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = q.x - xs[i];
+    double dy = q.y - ys[i];
+    double dz = q.z - zs[i];
+    if ((dx * dx + dy * dy) + dz * dz <= r2) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+MIO_NO_AUTOVEC
+std::size_t CountWithinScalar(const Point& q, const double* xs,
+                              const double* ys, const double* zs,
+                              std::size_t n, double r2) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = q.x - xs[i];
+    double dy = q.y - ys[i];
+    double dz = q.z - zs[i];
+    if ((dx * dx + dy * dy) + dz * dz <= r2) ++count;
+  }
+  return count;
+}
+
+#if MIO_X86_KERNELS
+
+// ---------------------------------------------------------------------------
+// SSE2 tier — 2 doubles per lane group. Explicit mul/add intrinsics keep
+// the per-lane arithmetic identical to the scalar tier (no contraction).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) std::ptrdiff_t AnyWithinSse2(
+    const Point& q, const double* xs, const double* ys, const double* zs,
+    std::size_t n, double r2) {
+  const __m128d qx = _mm_set1_pd(q.x);
+  const __m128d qy = _mm_set1_pd(q.y);
+  const __m128d qz = _mm_set1_pd(q.z);
+  const __m128d vr2 = _mm_set1_pd(r2);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d dx = _mm_sub_pd(qx, _mm_loadu_pd(xs + i));
+    __m128d dy = _mm_sub_pd(qy, _mm_loadu_pd(ys + i));
+    __m128d dz = _mm_sub_pd(qz, _mm_loadu_pd(zs + i));
+    __m128d d2 = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)),
+        _mm_mul_pd(dz, dz));
+    int mask = _mm_movemask_pd(_mm_cmple_pd(d2, vr2));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+    }
+  }
+  if (i < n) {
+    std::ptrdiff_t tail = AnyWithinScalar(q, xs + i, ys + i, zs + i, n - i, r2);
+    if (tail >= 0) return static_cast<std::ptrdiff_t>(i) + tail;
+  }
+  return -1;
+}
+
+__attribute__((target("sse2"))) std::size_t CountWithinSse2(
+    const Point& q, const double* xs, const double* ys, const double* zs,
+    std::size_t n, double r2) {
+  const __m128d qx = _mm_set1_pd(q.x);
+  const __m128d qy = _mm_set1_pd(q.y);
+  const __m128d qz = _mm_set1_pd(q.z);
+  const __m128d vr2 = _mm_set1_pd(r2);
+  // Hits accumulate in-vector: the compare mask is all-ones (-1 as int64)
+  // per hit lane, so subtracting it counts without a per-iteration
+  // vector->GPR round trip. Two independent accumulators hide latency.
+  __m128i acc0 = _mm_setzero_si128();
+  __m128i acc1 = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128d dx0 = _mm_sub_pd(qx, _mm_loadu_pd(xs + i));
+    __m128d dy0 = _mm_sub_pd(qy, _mm_loadu_pd(ys + i));
+    __m128d dz0 = _mm_sub_pd(qz, _mm_loadu_pd(zs + i));
+    __m128d d20 = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(dx0, dx0), _mm_mul_pd(dy0, dy0)),
+        _mm_mul_pd(dz0, dz0));
+    acc0 = _mm_sub_epi64(acc0, _mm_castpd_si128(_mm_cmple_pd(d20, vr2)));
+    __m128d dx1 = _mm_sub_pd(qx, _mm_loadu_pd(xs + i + 2));
+    __m128d dy1 = _mm_sub_pd(qy, _mm_loadu_pd(ys + i + 2));
+    __m128d dz1 = _mm_sub_pd(qz, _mm_loadu_pd(zs + i + 2));
+    __m128d d21 = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(dx1, dx1), _mm_mul_pd(dy1, dy1)),
+        _mm_mul_pd(dz1, dz1));
+    acc1 = _mm_sub_epi64(acc1, _mm_castpd_si128(_mm_cmple_pd(d21, vr2)));
+  }
+  for (; i + 2 <= n; i += 2) {
+    __m128d dx = _mm_sub_pd(qx, _mm_loadu_pd(xs + i));
+    __m128d dy = _mm_sub_pd(qy, _mm_loadu_pd(ys + i));
+    __m128d dz = _mm_sub_pd(qz, _mm_loadu_pd(zs + i));
+    __m128d d2 = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)),
+        _mm_mul_pd(dz, dz));
+    acc0 = _mm_sub_epi64(acc0, _mm_castpd_si128(_mm_cmple_pd(d2, vr2)));
+  }
+  alignas(16) std::uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes),
+                   _mm_add_epi64(acc0, acc1));
+  std::size_t count = static_cast<std::size_t>(lanes[0] + lanes[1]);
+  if (i < n) count += CountWithinScalar(q, xs + i, ys + i, zs + i, n - i, r2);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier — 4 doubles per lane group.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) std::ptrdiff_t AnyWithinAvx2(
+    const Point& q, const double* xs, const double* ys, const double* zs,
+    std::size_t n, double r2) {
+  const __m256d qx = _mm256_set1_pd(q.x);
+  const __m256d qy = _mm256_set1_pd(q.y);
+  const __m256d qz = _mm256_set1_pd(q.z);
+  const __m256d vr2 = _mm256_set1_pd(r2);
+  std::size_t i = 0;
+  // Miss path is the common case in verification scans: test two vectors
+  // per iteration and branch on their OR, locating the exact first hit
+  // only once something matched.
+  for (; i + 8 <= n; i += 8) {
+    __m256d dx0 = _mm256_sub_pd(qx, _mm256_loadu_pd(xs + i));
+    __m256d dy0 = _mm256_sub_pd(qy, _mm256_loadu_pd(ys + i));
+    __m256d dz0 = _mm256_sub_pd(qz, _mm256_loadu_pd(zs + i));
+    __m256d d20 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx0, dx0), _mm256_mul_pd(dy0, dy0)),
+        _mm256_mul_pd(dz0, dz0));
+    __m256d dx1 = _mm256_sub_pd(qx, _mm256_loadu_pd(xs + i + 4));
+    __m256d dy1 = _mm256_sub_pd(qy, _mm256_loadu_pd(ys + i + 4));
+    __m256d dz1 = _mm256_sub_pd(qz, _mm256_loadu_pd(zs + i + 4));
+    __m256d d21 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx1, dx1), _mm256_mul_pd(dy1, dy1)),
+        _mm256_mul_pd(dz1, dz1));
+    __m256d hit0 = _mm256_cmp_pd(d20, vr2, _CMP_LE_OQ);
+    __m256d hit1 = _mm256_cmp_pd(d21, vr2, _CMP_LE_OQ);
+    if (_mm256_movemask_pd(_mm256_or_pd(hit0, hit1)) != 0) {
+      int mask0 = _mm256_movemask_pd(hit0);
+      if (mask0 != 0) {
+        return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask0);
+      }
+      return static_cast<std::ptrdiff_t>(i) + 4 +
+             __builtin_ctz(_mm256_movemask_pd(hit1));
+    }
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d dx = _mm256_sub_pd(qx, _mm256_loadu_pd(xs + i));
+    __m256d dy = _mm256_sub_pd(qy, _mm256_loadu_pd(ys + i));
+    __m256d dz = _mm256_sub_pd(qz, _mm256_loadu_pd(zs + i));
+    __m256d d2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+        _mm256_mul_pd(dz, dz));
+    int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(d2, vr2, _CMP_LE_OQ));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+    }
+  }
+  if (i < n) {
+    std::ptrdiff_t tail = AnyWithinSse2(q, xs + i, ys + i, zs + i, n - i, r2);
+    if (tail >= 0) return static_cast<std::ptrdiff_t>(i) + tail;
+  }
+  return -1;
+}
+
+__attribute__((target("avx2"))) std::size_t CountWithinAvx2(
+    const Point& q, const double* xs, const double* ys, const double* zs,
+    std::size_t n, double r2) {
+  const __m256d qx = _mm256_set1_pd(q.x);
+  const __m256d qy = _mm256_set1_pd(q.y);
+  const __m256d qz = _mm256_set1_pd(q.z);
+  const __m256d vr2 = _mm256_set1_pd(r2);
+  // In-vector hit accumulation (see CountWithinSse2), two accumulators.
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d dx0 = _mm256_sub_pd(qx, _mm256_loadu_pd(xs + i));
+    __m256d dy0 = _mm256_sub_pd(qy, _mm256_loadu_pd(ys + i));
+    __m256d dz0 = _mm256_sub_pd(qz, _mm256_loadu_pd(zs + i));
+    __m256d d20 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx0, dx0), _mm256_mul_pd(dy0, dy0)),
+        _mm256_mul_pd(dz0, dz0));
+    acc0 = _mm256_sub_epi64(
+        acc0, _mm256_castpd_si256(_mm256_cmp_pd(d20, vr2, _CMP_LE_OQ)));
+    __m256d dx1 = _mm256_sub_pd(qx, _mm256_loadu_pd(xs + i + 4));
+    __m256d dy1 = _mm256_sub_pd(qy, _mm256_loadu_pd(ys + i + 4));
+    __m256d dz1 = _mm256_sub_pd(qz, _mm256_loadu_pd(zs + i + 4));
+    __m256d d21 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx1, dx1), _mm256_mul_pd(dy1, dy1)),
+        _mm256_mul_pd(dz1, dz1));
+    acc1 = _mm256_sub_epi64(
+        acc1, _mm256_castpd_si256(_mm256_cmp_pd(d21, vr2, _CMP_LE_OQ)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d dx = _mm256_sub_pd(qx, _mm256_loadu_pd(xs + i));
+    __m256d dy = _mm256_sub_pd(qy, _mm256_loadu_pd(ys + i));
+    __m256d dz = _mm256_sub_pd(qz, _mm256_loadu_pd(zs + i));
+    __m256d d2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+        _mm256_mul_pd(dz, dz));
+    acc0 = _mm256_sub_epi64(
+        acc0, _mm256_castpd_si256(_mm256_cmp_pd(d2, vr2, _CMP_LE_OQ)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes),
+                      _mm256_add_epi64(acc0, acc1));
+  std::size_t count =
+      static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  if (i < n) count += CountWithinSse2(q, xs + i, ys + i, zs + i, n - i, r2);
+  return count;
+}
+
+#else  // !MIO_X86_KERNELS — vector symbols forward to scalar so the
+       // per-tier API links everywhere (BestSupportedTier() never selects
+       // them on non-x86).
+
+std::ptrdiff_t AnyWithinSse2(const Point& q, const double* xs,
+                             const double* ys, const double* zs,
+                             std::size_t n, double r2) {
+  return AnyWithinScalar(q, xs, ys, zs, n, r2);
+}
+std::size_t CountWithinSse2(const Point& q, const double* xs,
+                            const double* ys, const double* zs, std::size_t n,
+                            double r2) {
+  return CountWithinScalar(q, xs, ys, zs, n, r2);
+}
+std::ptrdiff_t AnyWithinAvx2(const Point& q, const double* xs,
+                             const double* ys, const double* zs,
+                             std::size_t n, double r2) {
+  return AnyWithinScalar(q, xs, ys, zs, n, r2);
+}
+std::size_t CountWithinAvx2(const Point& q, const double* xs,
+                            const double* ys, const double* zs, std::size_t n,
+                            double r2) {
+  return CountWithinScalar(q, xs, ys, zs, n, r2);
+}
+
+#endif  // MIO_X86_KERNELS
+
+}  // namespace kernel_detail
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using AnyFn = std::ptrdiff_t (*)(const Point&, const double*, const double*,
+                                 const double*, std::size_t, double);
+using CountFn = std::size_t (*)(const Point&, const double*, const double*,
+                                const double*, std::size_t, double);
+
+struct KernelOps {
+  KernelTier tier;
+  AnyFn any;
+  CountFn count;
+};
+
+constexpr KernelOps kOpsTable[] = {
+    {KernelTier::kScalar, kernel_detail::AnyWithinScalar,
+     kernel_detail::CountWithinScalar},
+    {KernelTier::kSse2, kernel_detail::AnyWithinSse2,
+     kernel_detail::CountWithinSse2},
+    {KernelTier::kAvx2, kernel_detail::AnyWithinAvx2,
+     kernel_detail::CountWithinAvx2},
+};
+
+KernelTier ClampToSupported(KernelTier tier) {
+  KernelTier best = BestSupportedTier();
+  return static_cast<int>(tier) > static_cast<int>(best) ? best : tier;
+}
+
+/// Startup tier: the best supported, unless MIO_KERNEL names a valid
+/// lower tier (an unsupported or unknown name falls back to detection).
+KernelTier StartupTier() {
+  const char* env = std::getenv("MIO_KERNEL");
+  KernelTier tier = BestSupportedTier();
+  if (env != nullptr) {
+    KernelTier requested;
+    if (ParseKernelTier(env, &requested)) tier = ClampToSupported(requested);
+  }
+  return tier;
+}
+
+std::atomic<const KernelOps*> g_ops{nullptr};
+
+const KernelOps& Ops() {
+  const KernelOps* ops = g_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ops = &kOpsTable[static_cast<int>(StartupTier())];
+    g_ops.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+}  // namespace
+
+KernelTier ActiveKernelTier() { return Ops().tier; }
+
+KernelTier SetKernelTier(KernelTier tier) {
+  KernelTier effective = ClampToSupported(tier);
+  g_ops.store(&kOpsTable[static_cast<int>(effective)],
+              std::memory_order_release);
+  return effective;
+}
+
+namespace kernel_detail {
+
+std::ptrdiff_t AnyWithinDispatch(const Point& q, const double* xs,
+                                 const double* ys, const double* zs,
+                                 std::size_t n, double r2) {
+  return Ops().any(q, xs, ys, zs, n, r2);
+}
+
+std::size_t CountWithinDispatch(const Point& q, const double* xs,
+                                const double* ys, const double* zs,
+                                std::size_t n, double r2) {
+  return Ops().count(q, xs, ys, zs, n, r2);
+}
+
+}  // namespace kernel_detail
+
+}  // namespace mio

@@ -12,11 +12,18 @@ void SpatialHashGrid::Build(const ObjectSet& objects) {
 }
 
 void SpatialHashGrid::Insert(ObjectId obj, const Point& p) {
-  cells_[KeyForWidth(p, width_)].push_back(Entry{obj, p});
+  Cell& cell = cells_[KeyForWidth(p, width_)];
+  if (cell.run_obj.empty() || cell.run_obj.back() != obj) {
+    cell.run_obj.push_back(obj);
+    cell.run_start.push_back(static_cast<std::uint32_t>(cell.xs.size()));
+  }
+  cell.xs.push_back(p.x);
+  cell.ys.push_back(p.y);
+  cell.zs.push_back(p.z);
   ++num_entries_;
 }
 
-const std::vector<SpatialHashGrid::Entry>* SpatialHashGrid::CellAt(
+const SpatialHashGrid::Cell* SpatialHashGrid::CellAt(
     const CellKey& key) const {
   auto it = cells_.find(key);
   if (it == cells_.end()) return nullptr;
@@ -25,8 +32,11 @@ const std::vector<SpatialHashGrid::Entry>* SpatialHashGrid::CellAt(
 
 std::size_t SpatialHashGrid::MemoryUsageBytes() const {
   std::size_t bytes = UnorderedMapBytes(cells_);
-  for (const auto& [_, entries] : cells_) {
-    bytes += entries.capacity() * sizeof(Entry);
+  for (const auto& [_, cell] : cells_) {
+    bytes += cell.run_obj.capacity() * sizeof(ObjectId) +
+             cell.run_start.capacity() * sizeof(std::uint32_t) +
+             (cell.xs.capacity() + cell.ys.capacity() + cell.zs.capacity()) *
+                 sizeof(double);
   }
   return bytes;
 }

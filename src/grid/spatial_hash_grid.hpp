@@ -4,9 +4,16 @@
 // in its cell or the 26 neighbours. Cells are created on demand — no empty
 // cells, no replication (the same main-memory requirements the paper states
 // for BIGrid).
+//
+// Cell contents are stored structure-of-arrays, grouped into runs of
+// consecutive same-object insertions (the Build order inserts objects in
+// ascending id, so a run is exactly one object's points in the cell).
+// The SG scan then evaluates each run with one batch distance-kernel call
+// (geo/kernels.hpp) — the same SoA-plus-kernel shape as BIGrid postings.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -19,10 +26,48 @@ namespace mio {
 /// Hash grid mapping each point to exactly one cell of a fixed width.
 class SpatialHashGrid {
  public:
-  /// One stored point with its owning object.
+  /// One stored point with its owning object (materialised view; the
+  /// backing storage is SoA).
   struct Entry {
     ObjectId obj;
     Point p;
+  };
+
+  /// One run of consecutive same-object points inside a cell, as SoA
+  /// coordinate spans for the batch kernels.
+  struct Run {
+    ObjectId obj;
+    const double* xs;
+    const double* ys;
+    const double* zs;
+    std::size_t size;
+  };
+
+  /// Cell storage: coordinate arrays plus run offsets (run_obj/run_start
+  /// parallel, offsets into xs/ys/zs).
+  struct Cell {
+    std::vector<ObjectId> run_obj;
+    std::vector<std::uint32_t> run_start;
+    std::vector<double> xs, ys, zs;
+
+    std::size_t size() const { return xs.size(); }
+    std::size_t NumRuns() const { return run_obj.size(); }
+
+    Run RunAt(std::size_t i) const {
+      std::uint32_t begin = run_start[i];
+      std::uint32_t end = i + 1 < run_start.size()
+                              ? run_start[i + 1]
+                              : static_cast<std::uint32_t>(xs.size());
+      return Run{run_obj[i], xs.data() + begin, ys.data() + begin,
+                 zs.data() + begin, end - begin};
+    }
+
+    /// Entry in insertion order (runs are contiguous and ordered).
+    Entry operator[](std::size_t i) const {
+      std::size_t run = 0;
+      while (run + 1 < run_start.size() && run_start[run + 1] <= i) ++run;
+      return Entry{run_obj[run], Point{xs[i], ys[i], zs[i]}};
+    }
   };
 
   explicit SpatialHashGrid(double cell_width) : width_(cell_width) {}
@@ -37,25 +82,38 @@ class SpatialHashGrid {
   std::size_t NumCells() const { return cells_.size(); }
   std::size_t NumEntries() const { return num_entries_; }
 
-  /// Entries in the cell containing `key`, or nullptr if the cell is empty.
-  const std::vector<Entry>* CellAt(const CellKey& key) const;
+  /// The cell containing `key`, or nullptr if the cell is empty.
+  const Cell* CellAt(const CellKey& key) const;
 
-  /// Invokes f(entry) for every entry in the 27-cell neighbourhood of p.
-  /// f returns true to continue, false to stop early.
+  /// Invokes f(cell) for every non-empty cell in the 27-cell
+  /// neighbourhood of p. f returns true to continue, false to stop early.
   template <typename F>
-  void ForEachEntryNear(const Point& p, F&& f) const {
+  void ForEachCellNear(const Point& p, F&& f) const {
     CellKey centre = KeyForWidth(p, width_);
     bool stop = false;
     ForEachNeighbor(centre, /*include_self=*/true, [&](const CellKey& k) {
       if (stop) return;
       auto it = cells_.find(k);
       if (it == cells_.end()) return;
-      for (const Entry& e : it->second) {
-        if (!f(e)) {
-          stop = true;
-          return;
+      if (!f(it->second)) stop = true;
+    });
+  }
+
+  /// Invokes f(entry) for every entry in the 27-cell neighbourhood of p.
+  /// f returns true to continue, false to stop early. (Entry-granular
+  /// convenience view over ForEachCellNear.)
+  template <typename F>
+  void ForEachEntryNear(const Point& p, F&& f) const {
+    ForEachCellNear(p, [&](const Cell& cell) {
+      for (std::size_t r = 0; r < cell.NumRuns(); ++r) {
+        Run run = cell.RunAt(r);
+        for (std::size_t i = 0; i < run.size; ++i) {
+          if (!f(Entry{run.obj, Point{run.xs[i], run.ys[i], run.zs[i]}})) {
+            return false;
+          }
         }
       }
+      return true;
     });
   }
 
@@ -63,7 +121,7 @@ class SpatialHashGrid {
 
  private:
   double width_;
-  std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
+  std::unordered_map<CellKey, Cell, CellKeyHash> cells_;
   std::size_t num_entries_ = 0;
 };
 

@@ -3,20 +3,33 @@
 #include <algorithm>
 #include <numeric>
 
+#include "geo/kernels.hpp"
+
 namespace mio {
 
-KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
-  ids_.resize(points_.size());
+KdTree::KdTree(std::vector<Point> points) {
+  ids_.resize(points.size());
   std::iota(ids_.begin(), ids_.end(), 0u);
-  if (!points_.empty()) {
-    nodes_.reserve(2 * points_.size() / kLeafSize + 2);
-    root_ = BuildNode(0, static_cast<std::uint32_t>(points_.size()));
+  if (!points.empty()) {
+    nodes_.reserve(2 * points.size() / kLeafSize + 2);
+    root_ = BuildNode(&points, 0, static_cast<std::uint32_t>(points.size()));
+  }
+  // Scatter the reordered points into the SoA leaf storage.
+  xs_.resize(points.size());
+  ys_.resize(points.size());
+  zs_.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    xs_[i] = points[i].x;
+    ys_[i] = points[i].y;
+    zs_[i] = points[i].z;
   }
 }
 
-std::int32_t KdTree::BuildNode(std::uint32_t begin, std::uint32_t end) {
+std::int32_t KdTree::BuildNode(std::vector<Point>* pts, std::uint32_t begin,
+                               std::uint32_t end) {
+  std::vector<Point>& points = *pts;
   Node node;
-  for (std::uint32_t i = begin; i < end; ++i) node.box.Extend(points_[i]);
+  for (std::uint32_t i = begin; i < end; ++i) node.box.Extend(points[i]);
   std::int32_t idx = static_cast<std::int32_t>(nodes_.size());
   nodes_.push_back(node);
 
@@ -41,24 +54,24 @@ std::int32_t KdTree::BuildNode(std::uint32_t begin, std::uint32_t end) {
   auto coord = [axis](const Point& p) {
     return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
   };
-  // Keep points_ and ids_ in lock-step: sort an index permutation.
+  // Keep points and ids_ in lock-step: sort an index permutation.
   std::vector<std::uint32_t> perm(end - begin);
   std::iota(perm.begin(), perm.end(), begin);
   std::nth_element(perm.begin(), perm.begin() + (mid - begin), perm.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
-                     return coord(points_[a]) < coord(points_[b]);
+                     return coord(points[a]) < coord(points[b]);
                    });
   std::vector<Point> tmp_pts(end - begin);
   std::vector<std::uint32_t> tmp_ids(end - begin);
   for (std::uint32_t i = 0; i < end - begin; ++i) {
-    tmp_pts[i] = points_[perm[i]];
+    tmp_pts[i] = points[perm[i]];
     tmp_ids[i] = ids_[perm[i]];
   }
-  std::copy(tmp_pts.begin(), tmp_pts.end(), points_.begin() + begin);
+  std::copy(tmp_pts.begin(), tmp_pts.end(), points.begin() + begin);
   std::copy(tmp_ids.begin(), tmp_ids.end(), ids_.begin() + begin);
 
-  std::int32_t left = BuildNode(begin, mid);
-  std::int32_t right = BuildNode(mid, end);
+  std::int32_t left = BuildNode(pts, begin, mid);
+  std::int32_t right = BuildNode(pts, mid, end);
   nodes_[idx].left = left;
   nodes_[idx].right = right;
   return idx;
@@ -74,10 +87,8 @@ bool KdTree::ContainsWithinRec(std::int32_t node, const Point& q,
   const Node& nd = nodes_[node];
   if (nd.box.SquaredDistanceTo(q) > r2) return false;
   if (nd.IsLeaf()) {
-    for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
-      if (SquaredDistance(points_[i], q) <= r2) return true;
-    }
-    return false;
+    return AnyWithin(q, xs_.data() + nd.begin, ys_.data() + nd.begin,
+                     zs_.data() + nd.begin, nd.end - nd.begin, r2) >= 0;
   }
   // Descend into the closer child first: hits terminate the search.
   double dl = nodes_[nd.left].box.SquaredDistanceTo(q);
@@ -102,7 +113,7 @@ void KdTree::NearestRec(std::int32_t node, const Point& q,
   if (nd.box.SquaredDistanceTo(q) > *best2) return;
   if (nd.IsLeaf()) {
     for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
-      double d2 = SquaredDistance(points_[i], q);
+      double d2 = SquaredDistance(PointAt(i), q);
       if (d2 < *best2) *best2 = d2;
     }
     return;
@@ -130,7 +141,7 @@ void KdTree::CollectRec(std::int32_t node, const Point& q, double r2,
   if (nd.box.SquaredDistanceTo(q) > r2) return;
   if (nd.IsLeaf()) {
     for (std::uint32_t i = nd.begin; i < nd.end; ++i) {
-      if (SquaredDistance(points_[i], q) <= r2) out->push_back(ids_[i]);
+      if (SquaredDistance(PointAt(i), q) <= r2) out->push_back(ids_[i]);
     }
     return;
   }
@@ -145,7 +156,7 @@ const Aabb& KdTree::Bounds() const {
 }
 
 std::size_t KdTree::MemoryUsageBytes() const {
-  return points_.capacity() * sizeof(Point) +
+  return (xs_.capacity() + ys_.capacity() + zs_.capacity()) * sizeof(double) +
          ids_.capacity() * sizeof(std::uint32_t) +
          nodes_.capacity() * sizeof(Node);
 }

@@ -15,14 +15,16 @@ namespace mio {
 
 /// Immutable kd-tree built once over a point set. Nodes carry exact
 /// bounding boxes, giving tight pruning on the skewed, elongated objects
-/// (neurites, trajectories) this system targets.
+/// (neurites, trajectories) this system targets. Leaf points are stored
+/// structure-of-arrays, so the early-exit leaf scan of ContainsWithin is
+/// one batch distance-kernel call (geo/kernels.hpp) per leaf.
 class KdTree {
  public:
   /// Builds over a copy of `points`. Empty input yields an empty tree.
   explicit KdTree(std::vector<Point> points);
 
-  std::size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
 
   /// True iff some point lies within distance r of q (early-exit search).
   bool ContainsWithin(const Point& q, double r) const;
@@ -55,15 +57,19 @@ class KdTree {
 
   static constexpr std::size_t kLeafSize = 16;
 
-  std::int32_t BuildNode(std::uint32_t begin, std::uint32_t end);
+  std::int32_t BuildNode(std::vector<Point>* pts, std::uint32_t begin,
+                         std::uint32_t end);
 
   bool ContainsWithinRec(std::int32_t node, const Point& q, double r2) const;
   void NearestRec(std::int32_t node, const Point& q, double* best2) const;
   void CollectRec(std::int32_t node, const Point& q, double r2,
                   std::vector<std::uint32_t>* out) const;
 
-  std::vector<Point> points_;       // reordered during build
-  std::vector<std::uint32_t> ids_;  // points_[i] was input[ids_[i]]
+  Point PointAt(std::size_t i) const { return Point{xs_[i], ys_[i], zs_[i]}; }
+
+  // Reordered (build-order) coordinates, structure-of-arrays.
+  std::vector<double> xs_, ys_, zs_;
+  std::vector<std::uint32_t> ids_;  // point i was input[ids_[i]]
   std::vector<Node> nodes_;
   std::int32_t root_ = -1;
 };

@@ -86,13 +86,16 @@ TEST(BiGridTest, LargeCellPostingsHoldEveryPoint) {
       const LargeCell* cell = grid.FindLarge(k);
       ASSERT_NE(cell, nullptr);
       EXPECT_TRUE(cell->bits.Test(i));
-      auto posting = cell->Posting(i);
-      EXPECT_TRUE(std::any_of(posting.begin(), posting.end(),
-                              [&](const Point& q) { return q == p; }));
+      PostingView posting = cell->Posting(i);
+      bool present = false;
+      for (std::size_t pi = 0; pi < posting.size; ++pi) {
+        if (posting[pi] == p) present = true;
+      }
+      EXPECT_TRUE(present);
     }
   }
   grid.ForEachLargeCell([&](const CellKey&, LargeCell& cell) {
-    total_postings += cell.post_points.size();
+    total_postings += cell.NumPostingPoints();
     // Posting object ids ascend (build order).
     EXPECT_TRUE(std::is_sorted(cell.post_obj.begin(), cell.post_obj.end()));
   });
@@ -135,7 +138,7 @@ TEST(BiGridTest, NoEmptyCells) {
   BiGrid grid(set, 4.0);
   grid.Build();
   grid.ForEachLargeCell([&](const CellKey&, LargeCell& cell) {
-    EXPECT_GT(cell.post_points.size(), 0u);
+    EXPECT_GT(cell.NumPostingPoints(), 0u);
     EXPECT_GT(cell.bits.Count(), 0u);
   });
 }
@@ -166,7 +169,7 @@ TEST(BiGridTest, ParallelBuildMatchesSerial) {
       const LargeCell* pcell = parallel.FindLarge(k);
       ASSERT_NE(pcell, nullptr);
       EXPECT_TRUE(pcell->bits == scell.bits);
-      EXPECT_EQ(pcell->post_points.size(), scell.post_points.size());
+      EXPECT_EQ(pcell->NumPostingPoints(), scell.NumPostingPoints());
     });
     // Groups cover every point exactly once.
     for (ObjectId i = 0; i < set.size(); ++i) {

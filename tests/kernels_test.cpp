@@ -1,0 +1,289 @@
+// Geometry kernel layer (geo/kernels.hpp): every dispatch tier is
+// differentially fuzzed against the scalar reference over random batches
+// — including empty batches, sub-lane-width remainders, boundary-exact
+// distances, planar data, and denormal/huge coordinates — and the full
+// query pipeline is re-run under each tier against the NL oracle to show
+// the tiers are interchangeable end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/cpu_features.hpp"
+#include "core/mio_engine.hpp"
+#include "geo/kernels.hpp"
+#include "test_utils.hpp"
+
+namespace mio {
+namespace {
+
+using kernel_detail::AnyWithinAvx2;
+using kernel_detail::AnyWithinScalar;
+using kernel_detail::AnyWithinSse2;
+using kernel_detail::CountWithinAvx2;
+using kernel_detail::CountWithinScalar;
+using kernel_detail::CountWithinSse2;
+
+/// Tiers whose per-tier entry points may run on this machine.
+std::vector<KernelTier> RunnableTiers() {
+  std::vector<KernelTier> tiers = {KernelTier::kScalar};
+  if (static_cast<int>(BestSupportedTier()) >=
+      static_cast<int>(KernelTier::kSse2)) {
+    tiers.push_back(KernelTier::kSse2);
+  }
+  if (BestSupportedTier() == KernelTier::kAvx2) {
+    tiers.push_back(KernelTier::kAvx2);
+  }
+  return tiers;
+}
+
+std::ptrdiff_t AnyForTier(KernelTier tier, const Point& q, const double* xs,
+                          const double* ys, const double* zs, std::size_t n,
+                          double r2) {
+  switch (tier) {
+    case KernelTier::kSse2:
+      return AnyWithinSse2(q, xs, ys, zs, n, r2);
+    case KernelTier::kAvx2:
+      return AnyWithinAvx2(q, xs, ys, zs, n, r2);
+    default:
+      return AnyWithinScalar(q, xs, ys, zs, n, r2);
+  }
+}
+
+std::size_t CountForTier(KernelTier tier, const Point& q, const double* xs,
+                         const double* ys, const double* zs, std::size_t n,
+                         double r2) {
+  switch (tier) {
+    case KernelTier::kSse2:
+      return CountWithinSse2(q, xs, ys, zs, n, r2);
+    case KernelTier::kAvx2:
+      return CountWithinAvx2(q, xs, ys, zs, n, r2);
+    default:
+      return CountWithinScalar(q, xs, ys, zs, n, r2);
+  }
+}
+
+struct Batch {
+  Point q;
+  SoaPoints pts;
+  double r2;
+};
+
+void ExpectTiersAgree(const Batch& b, const char* what) {
+  const double* xs = b.pts.xs.data();
+  const double* ys = b.pts.ys.data();
+  const double* zs = b.pts.zs.data();
+  std::size_t n = b.pts.size();
+  std::ptrdiff_t want_any = AnyWithinScalar(b.q, xs, ys, zs, n, b.r2);
+  std::size_t want_count = CountWithinScalar(b.q, xs, ys, zs, n, b.r2);
+  for (KernelTier tier : RunnableTiers()) {
+    EXPECT_EQ(AnyForTier(tier, b.q, xs, ys, zs, n, b.r2), want_any)
+        << what << " tier=" << KernelTierName(tier) << " n=" << n;
+    EXPECT_EQ(CountForTier(tier, b.q, xs, ys, zs, n, b.r2), want_count)
+        << what << " tier=" << KernelTierName(tier) << " n=" << n;
+  }
+}
+
+TEST(KernelTierTest, NamesRoundTrip) {
+  for (KernelTier t :
+       {KernelTier::kScalar, KernelTier::kSse2, KernelTier::kAvx2}) {
+    KernelTier parsed;
+    ASSERT_TRUE(ParseKernelTier(KernelTierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  KernelTier unused;
+  EXPECT_FALSE(ParseKernelTier("neon", &unused));
+  EXPECT_FALSE(ParseKernelTier("", &unused));
+}
+
+TEST(KernelTierTest, SetKernelTierClampsToSupported) {
+  KernelTier prev = ActiveKernelTier();
+  EXPECT_EQ(SetKernelTier(KernelTier::kScalar), KernelTier::kScalar);
+  EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+  // Requesting the best (or anything above) clamps to the best.
+  KernelTier best = BestSupportedTier();
+  EXPECT_EQ(SetKernelTier(KernelTier::kAvx2), best == KernelTier::kAvx2
+                                                  ? KernelTier::kAvx2
+                                                  : best);
+  SetKernelTier(prev);
+}
+
+TEST(KernelsTest, EmptyBatchHasNoHit) {
+  Batch b;
+  b.q = Point{1.0, 2.0, 3.0};
+  b.r2 = 100.0;
+  ExpectTiersAgree(b, "empty");
+  EXPECT_EQ(AnyWithin(b.q, nullptr, nullptr, nullptr, 0, b.r2), -1);
+  EXPECT_EQ(CountWithin(b.q, nullptr, nullptr, nullptr, 0, b.r2), 0u);
+}
+
+TEST(KernelsTest, SubLaneWidthRemainders) {
+  // n = 1..7 covers every remainder class of the 2-lane and 4-lane loops.
+  Pcg32 rng(7, 1);
+  for (std::size_t n = 1; n <= 7; ++n) {
+    Batch b;
+    b.q = Point{rng.NextDouble(-5, 5), rng.NextDouble(-5, 5),
+                rng.NextDouble(-5, 5)};
+    std::vector<Point> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(Point{rng.NextDouble(-5, 5), rng.NextDouble(-5, 5),
+                          rng.NextDouble(-5, 5)});
+    }
+    b.pts.Assign(pts);
+    b.r2 = rng.NextDouble(0.1, 30.0);
+    ExpectTiersAgree(b, "remainder");
+  }
+}
+
+TEST(KernelsTest, BoundaryExactDistanceIsAHitInEveryTier) {
+  // dist((0,0,0), (3,4,0)) == 5 exactly; r2 = 25 is exactly
+  // representable, so every tier must report the boundary point as a hit.
+  Batch b;
+  b.q = Point{0.0, 0.0, 0.0};
+  std::vector<Point> pts(9, Point{100.0, 100.0, 100.0});  // far misses
+  pts.push_back(Point{3.0, 4.0, 0.0});                    // exact boundary
+  b.pts.Assign(pts);
+  b.r2 = 25.0;
+  ExpectTiersAgree(b, "boundary");
+  EXPECT_EQ(AnyWithinScalar(b.q, b.pts.xs.data(), b.pts.ys.data(),
+                            b.pts.zs.data(), b.pts.size(), b.r2),
+            9);
+}
+
+TEST(KernelsTest, PlanarDataAgrees) {
+  Pcg32 rng(11, 2);
+  for (int rep = 0; rep < 20; ++rep) {
+    Batch b;
+    b.q = Point{rng.NextDouble(0, 20), rng.NextDouble(0, 20), 0.0};
+    std::vector<Point> pts;
+    std::size_t n = rng.NextBounded(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(Point{rng.NextDouble(0, 20), rng.NextDouble(0, 20), 0.0});
+    }
+    b.pts.Assign(pts);
+    b.r2 = rng.NextDouble(0.5, 50.0);
+    ExpectTiersAgree(b, "planar");
+  }
+}
+
+TEST(KernelsTest, DenormalAndHugeCoordinatesAgree) {
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  const double huge = 1e154;  // dx*dx overflows to inf
+  Batch b;
+  b.q = Point{0.0, 0.0, 0.0};
+  std::vector<Point> pts = {
+      Point{denorm, denorm, denorm},        // hit at any positive r2
+      Point{huge, 0.0, 0.0},                // inf distance: never a hit
+      Point{-huge, huge, -huge},            // inf distance
+      Point{denorm * 4, -denorm * 2, 0.0},  // subnormal arithmetic
+      Point{1e-300, 1e-300, 1e-300},        // d2 underflows toward 0
+  };
+  b.pts.Assign(pts);
+  b.r2 = 1e-3;
+  ExpectTiersAgree(b, "denormal/huge");
+  b.r2 = std::numeric_limits<double>::max();
+  ExpectTiersAgree(b, "denormal/huge maxr");
+}
+
+TEST(KernelsTest, DifferentialFuzzAcrossTiers) {
+  // PCG32-seeded random batches: mixed magnitudes, duplicate points,
+  // hits at random depths. Exact index/count equality demanded per tier.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Pcg32 rng(seed, 0x6b65726eULL);  // "kern"
+    std::size_t n = rng.NextBounded(200);
+    double span = rng.NextDouble() < 0.2 ? 1e-6 : rng.NextDouble(1.0, 50.0);
+    Batch b;
+    b.q = Point{rng.NextDouble(-span, span), rng.NextDouble(-span, span),
+                rng.NextDouble(-span, span)};
+    std::vector<Point> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      Point p{rng.NextDouble(-span, span), rng.NextDouble(-span, span),
+              rng.NextDouble(-span, span)};
+      pts.push_back(p);
+      if (rng.NextDouble() < 0.1) pts.push_back(p);  // duplicates
+    }
+    b.pts.Assign(pts);
+    double r = rng.NextDouble(0.0, 2.0 * span);
+    b.r2 = r * r;
+    ExpectTiersAgree(b, "fuzz");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline agreement: the BIGrid-vs-NL oracle under each tier.
+// ---------------------------------------------------------------------------
+
+class KernelPipelineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetKernelTier(BestSupportedTier()); }
+};
+
+TEST_F(KernelPipelineTest, OracleSuiteAgreesUnderScalarAndBestTier) {
+  ObjectSet set = testing::MakeRandomObjects(60, 2, 10, 60.0, 99);
+  std::vector<KernelTier> tiers = {KernelTier::kScalar};
+  if (BestSupportedTier() != KernelTier::kScalar) {
+    tiers.push_back(BestSupportedTier());
+  }
+  for (double r : {1.5, 4.0, 9.0}) {
+    // Oracle computed under the scalar tier.
+    SetKernelTier(KernelTier::kScalar);
+    std::vector<std::uint32_t> exact = testing::OracleScores(set, r);
+
+    for (KernelTier tier : tiers) {
+      ASSERT_EQ(SetKernelTier(tier), tier);
+      // The NL oracle itself must be tier-invariant.
+      EXPECT_EQ(testing::OracleScores(set, r), exact)
+          << "NL tier=" << KernelTierName(tier) << " r=" << r;
+      for (std::size_t k : {std::size_t{1}, std::size_t{5}}) {
+        MioEngine engine(set);
+        QueryOptions opt;
+        opt.k = k;
+        QueryResult res = engine.Query(r, opt);
+        std::vector<ScoredObject> want = TopKFromScores(exact, k);
+        ASSERT_EQ(res.topk.size(), want.size());
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(res.topk[i].score, want[i].score)
+              << "tier=" << KernelTierName(tier) << " r=" << r << " k=" << k
+              << " pos=" << i;
+          EXPECT_EQ(exact[res.topk[i].id], res.topk[i].score)
+              << "tier=" << KernelTierName(tier) << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelPipelineTest, TierResultsAreBitIdentical) {
+  // Stronger than score agreement: the full top-k lists (ids and scores)
+  // must be byte-identical across tiers, labels on and off.
+  ObjectSet set = testing::MakeRandomObjects(40, 3, 9, 40.0, 123);
+  for (KernelTier tier : RunnableTiers()) {
+    if (SetKernelTier(tier) != tier) continue;
+    for (bool labels : {false, true}) {
+      SetKernelTier(KernelTier::kScalar);
+      MioEngine scalar_engine(set);
+      QueryOptions opt;
+      opt.k = 7;
+      opt.record_labels = labels;
+      QueryResult want = scalar_engine.Query(3.5, opt);
+
+      SetKernelTier(tier);
+      MioEngine tier_engine(set);
+      QueryResult got = tier_engine.Query(3.5, opt);
+
+      ASSERT_EQ(got.topk.size(), want.topk.size());
+      for (std::size_t i = 0; i < want.topk.size(); ++i) {
+        EXPECT_EQ(got.topk[i].id, want.topk[i].id)
+            << "tier=" << KernelTierName(tier) << " labels=" << labels;
+        EXPECT_EQ(got.topk[i].score, want.topk[i].score);
+      }
+      EXPECT_EQ(got.stats.distance_computations,
+                want.stats.distance_computations)
+          << "comps diverge: tier=" << KernelTierName(tier);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mio
