@@ -16,6 +16,8 @@
 #include "core/mio_engine.hpp"
 #include "datagen/presets.hpp"
 #include "object/sampling.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_sink.hpp"
 
 namespace mio {
 namespace bench {
@@ -92,6 +94,59 @@ inline std::string MiB(std::size_t bytes) {
 inline void Header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/// Machine-readable bench output: when --json-out=FILE is given, each
+/// measured run appends one `mio-stats-v1` JSON document (JSONL, "-" for
+/// stdout). `Begin()` resets the metrics registry so counter/histogram
+/// values are per-run, not cumulative across the harness.
+class JsonSink {
+ public:
+  JsonSink(const ArgParser& args, std::string bench)
+      : path_(args.GetString("json-out", "")),
+        bench_(std::move(bench)),
+        scale_(SelectScale(args) == datagen::Scale::kFull ? "full" : "quick") {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Call immediately before the measured region.
+  void Begin() const {
+    if (enabled()) obs::ResetMetrics();
+  }
+
+  /// Call after the measured region; appends one JSONL record.
+  void Record(const std::string& dataset, const std::string& algo, double r,
+              std::size_t k, int threads, double wall_seconds,
+              const QueryStats& stats) const {
+    if (!enabled()) return;
+    obs::RunInfo info;
+    info.bench = bench_;
+    info.dataset = dataset;
+    info.algo = algo;
+    info.r = r;
+    info.k = k;
+    info.threads = threads;
+    info.scale = scale_;
+    info.wall_seconds = wall_seconds;
+    obs::MetricsSnapshot metrics = obs::SnapshotMetrics();
+    std::string line = obs::StatsJson(stats, info, &metrics) + "\n";
+    if (path_ == "-") {
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      return;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json-out: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::string scale_;
+};
 
 }  // namespace bench
 }  // namespace mio

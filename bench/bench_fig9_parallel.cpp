@@ -9,6 +9,7 @@
 //
 //   ./bench_fig9_parallel [--full] [--datasets=...] [--r=4] [--t=1,2,4,8,12]
 //                         [--algos=nl,sg,bigrid,bigrid-label]
+//                         [--json-out=FILE|-]
 #include <filesystem>
 #include <map>
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> threads_list = args.GetIntList("t", {1, 2, 4, 8, 12});
   std::vector<std::string> algos =
       args.GetStringList("algos", {"nl", "sg", "bigrid", "bigrid-label"});
+  mio::bench::JsonSink sink(args, "fig9_parallel");
 
   mio::bench::Header("Fig. 9: multi-core query time (physical cores: " +
                      std::to_string(mio::MaxThreads()) + ")");
@@ -54,10 +56,12 @@ int main(int argc, char** argv) {
           mio::bench::PrimeLabels(recorder, r, t);
         }
         mio::MioEngine engine(set, label_dir);
+        sink.Begin();
         mio::Timer timer;
         mio::QueryResult res =
             mio::bench::RunAlgorithm(algo, engine, set, r, t);
         double elapsed = timer.ElapsedSeconds();
+        sink.Record(name, algo, r, 1, t, elapsed, res.stats);
         times[name][algo][t] = elapsed;
         std::printf("%-10s %-14s %4d %12s %10u\n", name.c_str(), algo.c_str(),
                     t, mio::bench::Sec(elapsed).c_str(), res.best().score);

@@ -4,6 +4,7 @@
 // Verification.
 //
 //   ./bench_table2_breakdown [--full] [--datasets=...] [--r=4]
+//                            [--json-out=FILE|-]
 #include <filesystem>
 
 #include "bench_common.hpp"
@@ -12,6 +13,7 @@ int main(int argc, char** argv) {
   mio::ArgParser args(argc, argv);
   mio::datagen::Scale scale = mio::bench::SelectScale(args);
   double r = args.GetDouble("r", 4.0);
+  mio::bench::JsonSink sink(args, "table2_breakdown");
 
   mio::bench::Header("Table II: per-phase run time [s] (r = " +
                      std::to_string(r) + ")");
@@ -31,7 +33,10 @@ int main(int argc, char** argv) {
     // separate plain run first).
     {
       mio::MioEngine engine(set);
+      sink.Begin();
+      mio::Timer timer;
       mio::QueryResult res = engine.Query(r);
+      sink.Record(name, "bigrid", r, 1, 1, timer.ElapsedSeconds(), res.stats);
       const mio::PhaseTimes& p = res.stats.phases;
       std::printf("%-10s %-14s %12s %13s %15s %15s %13s %11s\n", name.c_str(),
                   "BIGrid", "-", mio::bench::Sec(p.grid_mapping).c_str(),
@@ -47,7 +52,11 @@ int main(int argc, char** argv) {
       mio::MioEngine engine(set, label_dir);
       mio::QueryOptions opt;
       opt.use_labels = true;
+      sink.Begin();
+      mio::Timer timer;
       mio::QueryResult res = engine.Query(r, opt);
+      sink.Record(name, "bigrid-label", r, 1, 1, timer.ElapsedSeconds(),
+                  res.stats);
       const mio::PhaseTimes& p = res.stats.phases;
       std::printf("%-10s %-14s %12s %13s %15s %15s %13s %11s\n", name.c_str(),
                   "BIGrid-label", mio::bench::Sec(p.label_input).c_str(),

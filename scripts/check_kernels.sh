@@ -10,7 +10,7 @@ PREFIX=${1:-build-check}
 SRC=$(cd "$(dirname "$0")/.." && pwd)
 # The tests that exercise the kernels and everything routed through them.
 TESTS="kernels_test geo_test kdtree_test bigrid_test baseline_test \
-  mio_engine_test fuzz_differential_test parallel_test"
+  mio_engine_test fuzz_differential_test parallel_test obs_test"
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 build() { # build <dir> <extra cmake flags...>

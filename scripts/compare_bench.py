@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare two mio-stats-v1 bench record files and flag regressions.
+
+Records (JSONL, one mio-stats-v1 document per line — the output of
+scripts/run_benches.sh, `--json-out`, or `mio query --stats-json`) are
+matched by (bench, dataset, algo, r, k, threads, scale). For each pair
+the total time is compared; slowdowns beyond the threshold are reported
+and make the script exit non-zero.
+
+Usage:
+  scripts/compare_bench.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+                           [--metric=total_seconds] [--verbose]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = {}
+    dupes = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not valid JSON: {e}")
+            if doc.get("schema") != "mio-stats-v1":
+                sys.exit(f"{path}:{lineno}: unexpected schema "
+                         f"{doc.get('schema')!r} (want 'mio-stats-v1')")
+            params = doc.get("params", {})
+            key = (
+                doc.get("bench", ""),
+                doc.get("dataset", ""),
+                doc.get("algo", ""),
+                params.get("r", 0),
+                params.get("k", 1),
+                params.get("threads", 1),
+                params.get("scale", ""),
+            )
+            if key in records:
+                dupes += 1  # keep the last run of a repeated configuration
+            records[key] = doc
+    if dupes:
+        print(f"note: {path} repeats {dupes} configuration(s); "
+              "using the last occurrence of each", file=sys.stderr)
+    return records
+
+
+def metric_value(doc, metric):
+    if metric in doc:
+        return doc[metric]
+    # Dotted paths reach nested sections, e.g. phases.verification or
+    # counters.distance_computations.
+    node = doc
+    for part in metric.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def key_str(key):
+    bench, dataset, algo, r, k, threads, scale = key
+    s = f"{bench}/{dataset}/{algo} r={r} k={k} t={threads}"
+    return s + (f" [{scale}]" if scale else "")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative slowdown that counts as a regression "
+                         "(default 0.10 = +10%%)")
+    ap.add_argument("--metric", default="total_seconds",
+                    help="record field to compare; dotted paths allowed, "
+                         "e.g. phases.verification (default total_seconds)")
+    ap.add_argument("--min-seconds", type=float, default=1e-4,
+                    help="ignore pairs where the baseline is below this "
+                         "(sub-0.1ms timings are pure noise)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every matched pair, not just regressions")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cand = load_records(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        sys.exit("no matching (bench, dataset, algo, r, k, threads, scale) "
+                 "configurations between the two files")
+
+    regressions = []
+    improvements = 0
+    skipped = 0
+    for key in common:
+        b = metric_value(base[key], args.metric)
+        c = metric_value(cand[key], args.metric)
+        if b is None or c is None:
+            skipped += 1
+            continue
+        if args.metric == "total_seconds" and b < args.min_seconds:
+            skipped += 1
+            continue
+        delta = (c - b) / b if b else 0.0
+        line = (f"{key_str(key):60s} {args.metric} "
+                f"{b:.6g} -> {c:.6g}  ({delta:+.1%})")
+        if delta > args.threshold:
+            regressions.append(line)
+        elif delta < -args.threshold:
+            improvements += 1
+            if args.verbose:
+                print("improved   " + line)
+        elif args.verbose:
+            print("ok         " + line)
+
+    only_base = len(base) - len(common)
+    only_cand = len(cand) - len(common)
+    print(f"compared {len(common)} configuration(s); "
+          f"{only_base} only in baseline, {only_cand} only in candidate, "
+          f"{skipped} skipped, {improvements} improved "
+          f"(threshold {args.threshold:.0%})")
+    if regressions:
+        print(f"\n{len(regressions)} REGRESSION(S):")
+        for line in regressions:
+            print("  " + line)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

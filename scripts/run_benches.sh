@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting bench harnesses and collects every mio-stats-v1
+# record into one JSONL file, suitable for scripts/compare_bench.py.
+#
+# Usage: scripts/run_benches.sh [build-dir] [out-file]
+#   build-dir  defaults to ./build (must already be built)
+#   out-file   defaults to BENCH_<yyyy-mm-dd>.json in the repo root
+#
+# Environment:
+#   MIO_BENCH_ARGS   extra flags for every harness (e.g. "--full")
+#   MIO_DATASETS     --datasets value (default: bird,syn — the quick pair)
+set -eu
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$SRC/build"}
+OUT=${2:-"$SRC/BENCH_$(date +%F).json"}
+DATASETS=${MIO_DATASETS:-bird,syn}
+EXTRA=${MIO_BENCH_ARGS:-}
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "error: $BUILD/bench not found — build with -DMIO_BUILD_BENCHMARKS=ON" >&2
+  exit 1
+fi
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() { # run <binary> <flags...>
+  local bin="$BUILD/bench/$1"; shift
+  if [ ! -x "$bin" ]; then
+    echo "skip: $bin (not built)" >&2
+    return 0
+  fi
+  echo "== $(basename "$bin") $* =="
+  # shellcheck disable=SC2086
+  "$bin" --datasets="$DATASETS" --json-out="$TMP" $EXTRA "$@"
+}
+
+run bench_table2_breakdown
+run bench_fig9_parallel --t=1,2
+
+if [ ! -s "$TMP" ]; then
+  echo "error: no JSON records were produced" >&2
+  exit 1
+fi
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "wrote $(wc -l < "$OUT") records to $OUT"

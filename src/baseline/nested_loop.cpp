@@ -1,5 +1,7 @@
 #include "baseline/nested_loop.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <numeric>
 
@@ -86,6 +88,7 @@ std::vector<std::uint32_t> NestedLoopScores(const ObjectSet& objects, double r,
 
 QueryResult NestedLoopQuery(const ObjectSet& objects, double r, int threads,
                             std::size_t k) {
+  MIO_TRACE_SPAN_CAT("nl.query", "baseline");
   QueryResult res;
   Timer timer;
   std::size_t comps = 0;

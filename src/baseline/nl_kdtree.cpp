@@ -1,5 +1,7 @@
 #include "baseline/nl_kdtree.hpp"
 
+#include "obs/trace.hpp"
+
 #include <memory>
 
 #include "common/omp_utils.hpp"
@@ -67,6 +69,7 @@ std::vector<std::uint32_t> NlKdScores(const ObjectSet& objects, double r,
 
 QueryResult NlKdQuery(const ObjectSet& objects, double r, int threads,
                       std::size_t k) {
+  MIO_TRACE_SPAN_CAT("nl-kd.query", "baseline");
   QueryResult res;
   Timer timer;
   std::vector<std::uint32_t> tau = NlKdScores(objects, r, threads);

@@ -1,5 +1,7 @@
 #include "baseline/rtree_mbr.hpp"
 
+#include "obs/trace.hpp"
+
 #include <cmath>
 #include <memory>
 #include <unordered_set>
@@ -116,6 +118,7 @@ std::vector<std::uint32_t> RtreeMbrScores(const ObjectSet& objects, double r,
 
 QueryResult RtreeMbrQuery(const ObjectSet& objects, double r, int threads,
                           std::size_t k) {
+  MIO_TRACE_SPAN_CAT("rt.query", "baseline");
   QueryResult res;
   Timer timer;
   std::vector<std::uint32_t> tau = RtreeMbrScores(objects, r, threads);

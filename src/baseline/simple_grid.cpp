@@ -1,5 +1,7 @@
 #include "baseline/simple_grid.hpp"
 
+#include "obs/trace.hpp"
+
 #include "common/omp_utils.hpp"
 #include "common/timer.hpp"
 #include "geo/kernels.hpp"
@@ -98,6 +100,7 @@ std::vector<std::uint32_t> SimpleGridScores(const ObjectSet& objects, double r,
 
 QueryResult SimpleGridQuery(const ObjectSet& objects, double r, int threads,
                             std::size_t k) {
+  MIO_TRACE_SPAN_CAT("sg.query", "baseline");
   QueryResult res;
   Timer timer;
   std::size_t grid_bytes = 0;
@@ -109,6 +112,7 @@ QueryResult SimpleGridQuery(const ObjectSet& objects, double r, int threads,
   res.stats.total_seconds = timer.ElapsedSeconds();
   res.stats.index_memory_bytes = grid_bytes;
   res.stats.memory.Add("sg_grid", grid_bytes);
+  MemoryTracker::Instance().ObserveBreakdown(res.stats.memory);
   res.stats.distance_computations = comps;
   res.stats.num_verified = objects.size();
   res.stats.threads = ResolveThreads(threads);

@@ -19,6 +19,38 @@ std::string FormatBytes(std::size_t bytes) {
   return buf;
 }
 
+MemoryTracker& MemoryTracker::Instance() {
+  static MemoryTracker* t = new MemoryTracker();  // leaked: shutdown-safe
+  return *t;
+}
+
+void MemoryTracker::Observe(const std::string& tag,
+                            std::size_t current_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& [current, peak] = tags_[tag];
+  current = current_bytes;
+  if (current_bytes > peak) peak = current_bytes;
+}
+
+void MemoryTracker::ObserveBreakdown(const MemoryBreakdown& breakdown) {
+  for (const auto& [name, bytes] : breakdown.parts) Observe(name, bytes);
+}
+
+std::vector<MemoryTracker::Entry> MemoryTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(tags_.size());
+  for (const auto& [tag, cp] : tags_) {
+    out.push_back(Entry{tag, cp.first, cp.second});
+  }
+  return out;
+}
+
+void MemoryTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tags_.clear();
+}
+
 std::string MemoryBreakdown::ToString() const {
   std::string out;
   for (const auto& [name, bytes] : parts) {

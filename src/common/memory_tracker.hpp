@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,5 +46,40 @@ struct MemoryBreakdown {
 
 /// Formats a byte count as "123 B", "1.2 KiB", "3.4 MiB", "5.6 GiB".
 std::string FormatBytes(std::size_t bytes);
+
+/// Process-wide high-water-mark tracker. Subsystems report their current
+/// footprint under a tag (index builds re-report on every query); the
+/// tracker keeps the latest value and the peak per tag, and the stats
+/// sink serialises the snapshot, so peaks survive into the stats JSON
+/// instead of only being printable at the moment they occur.
+class MemoryTracker {
+ public:
+  struct Entry {
+    std::string tag;
+    std::size_t current_bytes = 0;
+    std::size_t peak_bytes = 0;
+  };
+
+  static MemoryTracker& Instance();
+
+  /// Sets the tag's current footprint and raises its peak if exceeded.
+  void Observe(const std::string& tag, std::size_t current_bytes);
+
+  /// Observe() for every part of a breakdown (tags = part names).
+  void ObserveBreakdown(const MemoryBreakdown& breakdown);
+
+  /// All tags in lexicographic order.
+  std::vector<Entry> Snapshot() const;
+
+  /// Forgets every tag (tests; fresh baselines between bench runs).
+  void Reset();
+
+ private:
+  MemoryTracker() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<std::size_t, std::size_t>>
+      tags_;  // tag -> {current, peak}
+};
 
 }  // namespace mio

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/omp_utils.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mio {
 
@@ -92,6 +94,7 @@ void BiGrid::MapPointLarge(ObjectId i, const Point& p) {
 }
 
 void BiGrid::Build(const LabelSet* labels, bool build_groups) {
+  MIO_TRACE_SPAN_CAT("grid.build", "grid");
   const ObjectSet& objs = *objects_;
   const std::size_t n = objs.size();
   small_.assign(1, SmallMap{});
@@ -133,6 +136,7 @@ void BiGrid::BuildParallel(int threads, const LabelSet* labels,
     Build(labels, build_groups);
     return;
   }
+  MIO_TRACE_SPAN_CAT("grid.build_parallel", "grid");
   const ObjectSet& objs = *objects_;
   const std::size_t n = objs.size();
   small_.assign(threads, SmallMap{});
@@ -152,6 +156,7 @@ void BiGrid::BuildParallel(int threads, const LabelSet* labels,
   // is duplicated but cheap compared with the hash-map updates.
 #pragma omp parallel num_threads(threads)
   {
+    MIO_TRACE_SPAN_CAT("grid.map.worker", "grid");
     std::size_t t = static_cast<std::size_t>(ThreadId());
     for (ObjectId i = 0; i < n; ++i) {
       const Object& o = objs[i];
@@ -242,6 +247,7 @@ LargeCell* BiGrid::FindLarge(const CellKey& k) {
 LargeCell& BiGrid::EnsureAdj(const CellKey& k) {
   LargeCell& cell = *FindLarge(k);
   if (cell.adj_computed) return cell;
+  obs::Add(obs::Counter::kAdjBuilds);
   Ewah acc = cell.bits;
   ForEachNeighbor(k, /*include_self=*/false, [&](const CellKey& nk) {
     if (const LargeCell* nc = FindLarge(nk)) acc.OrWith(nc->bits);

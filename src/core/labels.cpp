@@ -1,8 +1,11 @@
 #include "core/labels.hpp"
 
+#include "obs/trace.hpp"
+
 namespace mio {
 
 LabelSet LabelSet::MakeAllOnes(const ObjectSet& objects) {
+  MIO_TRACE_SPAN_CAT("labels.make_all_ones", "labels");
   LabelSet set;
   set.labels.resize(objects.size());
   for (ObjectId i = 0; i < objects.size(); ++i) {
@@ -12,6 +15,7 @@ LabelSet LabelSet::MakeAllOnes(const ObjectSet& objects) {
 }
 
 std::size_t LabelSet::CountMapPruned() const {
+  MIO_TRACE_SPAN_CAT("labels.count_map_pruned", "labels");
   std::size_t count = 0;
   for (const auto& obj : labels) {
     for (std::uint8_t l : obj) {
@@ -22,6 +26,7 @@ std::size_t LabelSet::CountMapPruned() const {
 }
 
 std::size_t LabelSet::CountAnyPruned() const {
+  MIO_TRACE_SPAN_CAT("labels.count_any_pruned", "labels");
   std::size_t count = 0;
   for (const auto& obj : labels) {
     for (std::uint8_t l : obj) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mio {
 
 std::uint32_t LowerBoundResult::KthLargest(std::size_t k) const {
@@ -26,6 +28,9 @@ LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets) {
       acc.OrWith(cell->bits);
     }
     std::size_t count = acc.Count();
+    obs::Add(obs::Counter::kLbCellOrs, grid.KeyList(i).size());
+    obs::Observe(obs::Histogram::kLbKeyListLen, grid.KeyList(i).size());
+    obs::Observe(obs::Histogram::kLbUnionBits, count);
     // The union contains o_i's own bit whenever the key list is non-empty
     // (its point put it there); Lemma 1's "-1" removes it.
     res.tau_low[i] =

@@ -10,6 +10,7 @@
 #include "core/parallel_phases.hpp"
 #include "core/upper_bound.hpp"
 #include "core/verification.hpp"
+#include "obs/trace.hpp"
 
 namespace mio {
 
@@ -49,6 +50,7 @@ void MioEngine::ClearLabels() {
 }
 
 QueryResult MioEngine::Query(double r, const QueryOptions& options) {
+  MIO_TRACE_SPAN_CAT("query", "query");
   QueryResult res;
   if (objects_.empty() || r <= 0.0) return res;
 
@@ -65,6 +67,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   const int ceil_r = static_cast<int>(LargeGridWidth(r));
   const LabelSet* use_labels = nullptr;
   if (options.use_labels) {
+    MIO_TRACE_SPAN_CAT("label_input", "query");
     use_labels = LookupLabels(ceil_r, &stats.phases.label_input);
   }
   LabelSet recorded;
@@ -91,6 +94,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   }
   BiGrid grid(objects_, r, planar_, std::move(reuse));
   {
+    MIO_TRACE_SPAN_CAT("grid_mapping", "query");
     ScopedAccumulator acc(&stats.phases.grid_mapping);
     if (parallel) {
       grid.BuildParallel(threads, use_labels, /*build_groups=*/true);
@@ -114,6 +118,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   const bool keep_lb_bitsets = use_labels != nullptr;
   LowerBoundResult lb;
   {
+    MIO_TRACE_SPAN_CAT("lower_bounding", "query");
     ScopedAccumulator acc(&stats.phases.lower_bounding);
     lb = parallel ? ParallelLowerBounding(grid, options.lb_strategy, threads,
                                           keep_lb_bitsets)
@@ -125,6 +130,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   // --- UPPER-BOUNDING(O, r, threshold) ------------------------------------
   UpperBoundResult ub;
   {
+    MIO_TRACE_SPAN_CAT("upper_bounding", "query");
     ScopedAccumulator acc(&stats.phases.upper_bounding);
     ub = parallel
              ? ParallelUpperBounding(grid, threshold, options.ub_strategy,
@@ -136,6 +142,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
 
   // --- VERIFICATION(O_cand, r) ---------------------------------------------
   {
+    MIO_TRACE_SPAN_CAT("verification", "query");
     ScopedAccumulator acc(&stats.phases.verification);
     const std::vector<Ewah>* lb_bits =
         keep_lb_bitsets ? &lb.lb_bitsets : nullptr;
@@ -163,6 +170,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
     stats.memory.Add("labels", use_labels->MemoryUsageBytes());
   }
   stats.index_memory_bytes = stats.memory.Total();
+  MemoryTracker::Instance().ObserveBreakdown(stats.memory);
   if (options.collect_compression_stats) {
     stats.compression = grid.CompressionStats();
   }

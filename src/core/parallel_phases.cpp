@@ -4,8 +4,11 @@
 #include <unordered_map>
 
 #include "common/omp_utils.hpp"
+#include "common/timer.hpp"
 #include "core/partition.hpp"
 #include "core/verification.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mio {
 
@@ -31,6 +34,7 @@ LowerBoundResult LbGreedyDivide(const BiGrid& grid, int threads,
   std::vector<std::uint32_t> local_max(threads, 0);
 #pragma omp parallel num_threads(threads)
   {
+    MIO_TRACE_SPAN_CAT("lb.worker", "lb");
     int t = ThreadId();
     for (ObjectId i = 0; i < n; ++i) {
       if (assign[i] != t) continue;
@@ -39,6 +43,9 @@ LowerBoundResult LbGreedyDivide(const BiGrid& grid, int threads,
         acc.OrWith(grid.FindSmall(key)->bits);
       }
       std::size_t count = acc.Count();
+      obs::Add(obs::Counter::kLbCellOrs, grid.KeyList(i).size());
+      obs::Observe(obs::Histogram::kLbKeyListLen, grid.KeyList(i).size());
+      obs::Observe(obs::Histogram::kLbUnionBits, count);
       res.tau_low[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
       local_max[t] = std::max(local_max[t], res.tau_low[i]);
       if (keep_bitsets) res.lb_bitsets[i] = std::move(acc);
@@ -191,6 +198,8 @@ UpperBoundResult UbCostBasedGreedy(BiGrid& grid, std::uint32_t threshold,
     Ewah acc;
     for (int t = 0; t < threads; ++t) acc.OrWith(locals[t]);
     std::size_t count = acc.Count();
+    obs::Observe(obs::Histogram::kUbGroupsPerObject, groups.size());
+    obs::Observe(obs::Histogram::kUbUnionBits, count);
     res.tau_upp[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
     if (res.tau_upp[i] >= threshold) res.candidates.push_back(i);
   }
@@ -305,11 +314,12 @@ namespace {
 /// cores (round-robin within each P_{i,K}; tiny groups go to the least
 /// loaded core) and each core scans with a private accumulator; the
 /// accumulators are merged afterwards (paper §IV, with/without label).
+/// Each worker's scan time is accumulated into
+/// stats->verify_thread_seconds so load imbalance is reportable.
 std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
                                  const LabelSet* use_labels,
                                  LabelSet* record_labels, const Ewah* lb_bitset,
-                                 std::size_t* dist_comps,
-                                 bool use_verify_bit) {
+                                 QueryStats* stats, bool use_verify_bit) {
   const std::vector<PointGroup>& groups = grid.LargeGroups(i);
   const std::size_t n = grid.objects().size();
 
@@ -369,8 +379,11 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
   // Phase 4: per-core scans with private accumulators.
   std::vector<PlainBitset> accs(threads);
   std::vector<std::size_t> comps(threads, 0);
+  std::vector<double> seconds(threads, 0.0);
 #pragma omp parallel num_threads(threads)
   {
+    MIO_TRACE_SPAN_CAT("verify.worker", "verify");
+    Timer worker_timer;
     int t = ThreadId();
     accs[t] = seed;
     PlainBitset b_scratch;  // per-core candidate-set scratch
@@ -382,12 +395,17 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
       }
       VerifyPoint(grid, i, j, &accs[t], &b_scratch, record_labels, &comps[t]);
     }
+    seconds[static_cast<std::size_t>(t)] = worker_timer.ElapsedSeconds();
   }
 
   PlainBitset merged = std::move(accs[0]);
   for (int t = 1; t < threads; ++t) merged.OrWith(accs[t]);
-  if (dist_comps != nullptr) {
-    for (int t = 0; t < threads; ++t) *dist_comps += comps[t];
+  if (stats != nullptr) {
+    for (int t = 0; t < threads; ++t) {
+      stats->distance_computations += comps[t];
+      stats->verify_thread_seconds[static_cast<std::size_t>(t)] +=
+          seconds[static_cast<std::size_t>(t)];
+    }
   }
   std::size_t count = merged.Count();
   return count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
@@ -406,13 +424,17 @@ std::vector<ScoredObject> ParallelVerification(
                         stats, use_verify_bit);
   }
   TopKTracker tracker(k);
+  if (stats != nullptr) {
+    stats->verify_thread_seconds.assign(static_cast<std::size_t>(threads),
+                                        0.0);
+  }
   for (ObjectId i : ub.candidates) {
     if (static_cast<long long>(ub.tau_upp[i]) <= tracker.Threshold()) break;
-    const Ewah* lb = lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr;
-    std::uint32_t score = ParallelExactScore(
-        grid, i, threads, use_labels, record_labels, lb,
-        stats != nullptr ? &stats->distance_computations : nullptr,
-        use_verify_bit);
+    MIO_TRACE_SPAN_CAT("verify.candidate", "verify");
+    std::uint32_t score =
+        ParallelExactScore(grid, i, threads, use_labels, record_labels,
+                           lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr,
+                           stats, use_verify_bit);
     if (stats != nullptr) ++stats->num_verified;
     tracker.Offer(i, score);
   }

@@ -24,4 +24,21 @@ std::vector<ScoredObject> TopKFromScores(
   return out;
 }
 
+ThreadLoadReport ComputeThreadLoad(const std::vector<double>& seconds) {
+  ThreadLoadReport report;
+  if (seconds.empty()) return report;
+  report.min_seconds = seconds[0];
+  report.max_seconds = seconds[0];
+  double sum = 0.0;
+  for (double s : seconds) {
+    report.min_seconds = std::min(report.min_seconds, s);
+    report.max_seconds = std::max(report.max_seconds, s);
+    sum += s;
+  }
+  report.mean_seconds = sum / static_cast<double>(seconds.size());
+  report.imbalance =
+      report.mean_seconds > 0.0 ? report.max_seconds / report.mean_seconds : 0.0;
+  return report;
+}
+
 }  // namespace mio

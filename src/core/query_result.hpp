@@ -56,7 +56,24 @@ struct QueryStats {
   int threads = 1;
   /// True when the query adopted a cached large grid (reuse_grid mode).
   bool reused_grid = false;
+
+  /// Seconds each OpenMP worker spent scoring candidates (index = thread
+  /// id inside the verification regions). Filled only by the parallel
+  /// verifier; the min/max/imbalance summary checks the paper's
+  /// load-balanced partitioning claims (Fig. 9).
+  std::vector<double> verify_thread_seconds;
 };
+
+/// Load-balance summary over per-worker times.
+struct ThreadLoadReport {
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+  /// max/mean; 1.0 = perfectly balanced, 0 when no samples.
+  double imbalance = 0.0;
+};
+
+ThreadLoadReport ComputeThreadLoad(const std::vector<double>& seconds);
 
 /// Outcome of one MIO query: the top-k objects (k = 1 for the base query)
 /// in descending score order, plus execution statistics.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mio {
 
 void SortCandidates(const std::vector<std::uint32_t>& tau_upp,
@@ -28,6 +30,7 @@ UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
     const Object& o = objects[i];
     Ewah acc;
     std::size_t acc_count = 0;
+    std::size_t ors = 0;
     for (std::size_t j = 0; j < o.points.size(); ++j) {
       if (use_labels != nullptr) {
         std::uint8_t l = use_labels->Get(i, j);
@@ -43,6 +46,7 @@ UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
         continue;  // it cannot change acc either (acc will contain bit i)
       }
       acc.OrWith(cell.adj);
+      ++ors;
       if (record_labels != nullptr) {
         std::size_t new_count = acc.Count();
         if (new_count == acc_count) {
@@ -54,6 +58,8 @@ UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
       }
     }
     std::size_t count = record_labels != nullptr ? acc_count : acc.Count();
+    obs::Add(obs::Counter::kUbCellOrs, ors);
+    obs::Observe(obs::Histogram::kUbUnionBits, count);
     res.tau_upp[i] = count > 0 ? static_cast<std::uint32_t>(count - 1) : 0;
     if (res.tau_upp[i] >= threshold) res.candidates.push_back(i);
   }

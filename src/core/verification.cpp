@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "geo/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mio {
 
@@ -73,7 +75,10 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
   cell.adj.DecodeInto(&b);
   b.AndNotWith(*acc);
   std::size_t remaining = b.Count();
+  obs::Add(obs::Counter::kVerifyPoints);
+  obs::Observe(obs::Histogram::kVerifyCandsPerPoint, remaining);
   if (remaining == 0) {
+    obs::Add(obs::Counter::kVerifyPointsSettled);
     if (record_labels != nullptr) {
       // Labeling-3: this point's whole neighbourhood is already
       // confirmed (Observation 3).
@@ -84,6 +89,7 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
   }
 
   std::size_t comps = 0;
+  std::size_t postings = 0;
   // Scan the cell itself, then its neighbours, stopping as soon as no
   // candidate remains near p. Postings are only touched for set bits of
   // b (Algorithm 6 line 13); each touched posting is one batch-kernel
@@ -94,6 +100,7 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
     for (std::size_t oi = 0; oi < c->post_obj.size(); ++oi) {
       ObjectId obj = c->post_obj[oi];
       if (!b.Test(obj)) continue;
+      ++postings;
       PostingView posting = c->PostingAt(oi);
       std::ptrdiff_t hit =
           AnyWithin(p, posting.xs, posting.ys, posting.zs, posting.size, r2);
@@ -115,6 +122,7 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
       if (!stop) stop = !scan_cell(nk);
     });
   }
+  obs::Add(obs::Counter::kPostingScans, postings);
   if (dist_comps != nullptr) *dist_comps += comps;
 }
 
@@ -170,6 +178,7 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
     // upper bound, so once the front cannot beat the k-th best exact
     // score, neither can anything behind it.
     if (static_cast<long long>(ub.tau_upp[i]) <= tracker.Threshold()) break;
+    MIO_TRACE_SPAN_CAT("verify.candidate", "verify");
     const Ewah* lb =
         lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr;
     std::uint32_t score = ExactScore(

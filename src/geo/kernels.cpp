@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #define MIO_X86_KERNELS 1
 #include <immintrin.h>
@@ -340,15 +342,22 @@ KernelTier SetKernelTier(KernelTier tier) {
 
 namespace kernel_detail {
 
+// Batch-size metrics live here, on the dispatched (n > inline cutoff)
+// path only: the inline small-batch bypass stays instrumentation-free so
+// its few-nanosecond budget is untouched.
 std::ptrdiff_t AnyWithinDispatch(const Point& q, const double* xs,
                                  const double* ys, const double* zs,
                                  std::size_t n, double r2) {
+  obs::Add(obs::Counter::kKernelBatches);
+  obs::Observe(obs::Histogram::kKernelBatchSize, n);
   return Ops().any(q, xs, ys, zs, n, r2);
 }
 
 std::size_t CountWithinDispatch(const Point& q, const double* xs,
                                 const double* ys, const double* zs,
                                 std::size_t n, double r2) {
+  obs::Add(obs::Counter::kKernelBatches);
+  obs::Observe(obs::Histogram::kKernelBatchSize, n);
   return Ops().count(q, xs, ys, zs, n, r2);
 }
 

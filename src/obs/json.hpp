@@ -1,0 +1,59 @@
+// Minimal JSON emission and syntax checking for the observability layer.
+// The tracer, the stats sink, and the bench record emitter all produce
+// JSON; this writer keeps them consistent (escaping, number formatting)
+// without pulling in an external dependency, and the validator lets
+// tests assert the documents are well-formed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mio {
+namespace obs {
+
+/// Streaming JSON writer. Call sequence is the document structure:
+///   w.BeginObject(); w.Key("a").Int(1); w.EndObject();
+/// Commas and quoting are handled internally; values written into an
+/// object must be preceded by Key().
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. The writer is spent afterwards.
+  std::string Take() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once it holds an element (so the
+  /// next element needs a comma).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+/// Appends `s` with JSON string escaping (quotes, backslash, control
+/// characters) — no surrounding quotes.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Strict well-formedness check of a complete JSON document. On failure
+/// returns false and, when `error` is non-null, a short description with
+/// the byte offset.
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace mio

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mio {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{true};
+thread_local MetricShard* tl_shard = nullptr;
+
+namespace {
+
+struct ShardRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<MetricShard>> shards;
+};
+
+ShardRegistry& GetShardRegistry() {
+  static ShardRegistry* r = new ShardRegistry();  // leaked: shutdown-safe
+  return *r;
+}
+
+}  // namespace
+
+MetricShard* RegisterShard() {
+  ShardRegistry& reg = GetShardRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.shards.push_back(std::make_unique<MetricShard>());
+  tl_shard = reg.shards.back().get();
+  return tl_shard;
+}
+
+}  // namespace detail
+
+void SetMetricsEnabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  auto& reg = detail::GetShardRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  MetricsSnapshot snap;
+  for (const auto& shard : reg.shards) {
+    for (int c = 0; c < kNumCounters; ++c) {
+      snap.counters[static_cast<std::size_t>(c)] +=
+          shard->counters[static_cast<std::size_t>(c)];
+    }
+    for (int h = 0; h < kNumHistograms; ++h) {
+      const detail::HistogramShard& src =
+          shard->histograms[static_cast<std::size_t>(h)];
+      if (src.count == 0) continue;
+      HistogramSnapshot& dst = snap.histograms[static_cast<std::size_t>(h)];
+      for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+        dst.buckets[static_cast<std::size_t>(b)] +=
+            src.buckets[static_cast<std::size_t>(b)];
+      }
+      if (dst.count == 0 || src.min < dst.min) dst.min = src.min;
+      if (src.max > dst.max) dst.max = src.max;
+      dst.count += src.count;
+      dst.sum += src.sum;
+    }
+  }
+  return snap;
+}
+
+void ResetMetrics() {
+  auto& reg = detail::GetShardRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& shard : reg.shards) *shard = detail::MetricShard{};
+}
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kLbCellOrs:
+      return "lb_cell_ors";
+    case Counter::kUbCellOrs:
+      return "ub_cell_ors";
+    case Counter::kAdjBuilds:
+      return "adj_builds";
+    case Counter::kPostingScans:
+      return "posting_scans";
+    case Counter::kKernelBatches:
+      return "kernel_batches";
+    case Counter::kVerifyPoints:
+      return "verify_points";
+    case Counter::kVerifyPointsSettled:
+      return "verify_points_settled";
+    case Counter::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+const char* HistogramName(Histogram h) {
+  switch (h) {
+    case Histogram::kLbKeyListLen:
+      return "lb_key_list_len";
+    case Histogram::kLbUnionBits:
+      return "lb_union_bits";
+    case Histogram::kUbGroupsPerObject:
+      return "ub_groups_per_object";
+    case Histogram::kUbUnionBits:
+      return "ub_union_bits";
+    case Histogram::kVerifyCandsPerPoint:
+      return "verify_cands_per_point";
+    case Histogram::kKernelBatchSize:
+      return "kernel_batch_size";
+    case Histogram::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace obs
+}  // namespace mio

@@ -1,0 +1,153 @@
+// Pipeline metrics registry: monotonic counters and log2-scale
+// histograms recording distributions the per-query QueryStats scalars
+// cannot capture (key-list lengths, union cardinalities, kernel batch
+// sizes, per-point candidate counts).
+//
+// Recording is atomic-free: each thread owns a cache-line-aligned shard
+// (registered on first use, kept for the thread pool's lifetime) and a
+// snapshot merges the shards under the registry lock. A disabled
+// registry (SetMetricsEnabled(false)) reduces every recording site to
+// one relaxed load and a predicted branch.
+//
+// Like the tracer, snapshots and resets are meant for quiescent points
+// (between queries); concurrent recordings may straddle the merge.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace mio {
+namespace obs {
+
+/// Monotonic event counts. Extend here; names live in CounterName().
+enum class Counter : int {
+  kLbCellOrs = 0,        ///< small-cell bitset ORs during lower bounding
+  kUbCellOrs,            ///< b_adj ORs during upper bounding
+  kAdjBuilds,            ///< large-cell neighbourhood unions computed
+  kPostingScans,         ///< posting lists scanned during verification
+  kKernelBatches,        ///< dispatched (non-inline) batch kernel calls
+  kVerifyPoints,         ///< points exactly verified
+  kVerifyPointsSettled,  ///< verified points whose neighbourhood was
+                         ///< already fully confirmed (no posting scan)
+  kCount_
+};
+
+/// Value distributions, bucketed by log2. Names in HistogramName().
+enum class Histogram : int {
+  kLbKeyListLen = 0,      ///< small-grid key-list length per object
+  kLbUnionBits,           ///< lower-bound union cardinality per object
+  kUbGroupsPerObject,     ///< large-cell groups per object
+  kUbUnionBits,           ///< upper-bound union cardinality per object
+  kVerifyCandsPerPoint,   ///< unconfirmed candidates per verified point
+  kKernelBatchSize,       ///< span length per dispatched kernel call
+  kCount_
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kCount_);
+inline constexpr int kNumHistograms = static_cast<int>(Histogram::kCount_);
+
+const char* CounterName(Counter c);
+const char* HistogramName(Histogram h);
+
+/// Merged state of one histogram. Bucket 0 holds the value 0; bucket
+/// b >= 1 holds values in [2^(b-1), 2^b).
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 41;  // covers values up to 2^40-1
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< meaningful only when count > 0
+  std::uint64_t max = 0;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Snapshot of every counter and histogram, merged across thread shards.
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<HistogramSnapshot, kNumHistograms> histograms{};
+
+  bool Empty() const {
+    for (std::uint64_t c : counters) {
+      if (c != 0) return false;
+    }
+    for (const HistogramSnapshot& h : histograms) {
+      if (h.count != 0) return false;
+    }
+    return true;
+  }
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Log2 bucket index for a histogram value.
+inline int BucketOf(std::uint64_t v) {
+  if (v == 0) return 0;
+  int b = std::bit_width(v);  // v in [2^(b-1), 2^b)
+  return b < HistogramSnapshot::kBuckets ? b : HistogramSnapshot::kBuckets - 1;
+}
+
+struct HistogramShard {
+  std::array<std::uint64_t, HistogramSnapshot::kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = UINT64_MAX;
+  std::uint64_t max = 0;
+
+  void Observe(std::uint64_t v) {
+    ++buckets[static_cast<std::size_t>(BucketOf(v))];
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+};
+
+struct alignas(64) MetricShard {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<HistogramShard, kNumHistograms> histograms{};
+};
+
+extern thread_local MetricShard* tl_shard;
+MetricShard* RegisterShard();
+
+inline MetricShard& Shard() {
+  MetricShard* s = tl_shard;
+  return s != nullptr ? *s : *RegisterShard();
+}
+
+}  // namespace detail
+
+inline bool MetricsEnabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool on);
+
+/// Adds `v` to a counter on the calling thread's shard.
+inline void Add(Counter c, std::uint64_t v = 1) {
+  if (!MetricsEnabled()) return;
+  detail::Shard().counters[static_cast<std::size_t>(c)] += v;
+}
+
+/// Records one histogram observation on the calling thread's shard.
+inline void Observe(Histogram h, std::uint64_t v) {
+  if (!MetricsEnabled()) return;
+  detail::Shard().histograms[static_cast<std::size_t>(h)].Observe(v);
+}
+
+/// Merges every thread shard into one snapshot.
+MetricsSnapshot SnapshotMetrics();
+
+/// Zeroes every thread shard (shards stay registered).
+void ResetMetrics();
+
+}  // namespace obs
+}  // namespace mio

@@ -69,6 +69,54 @@ TEST(TimerTest, FormatSeconds) {
   EXPECT_EQ(FormatSeconds(2.5e-6), "2.50 us");
 }
 
+TEST(TimerTest, FormatSecondsEdgeCases) {
+  EXPECT_EQ(FormatSeconds(0.0), "0 s");
+  EXPECT_EQ(FormatSeconds(3e-9), "3.0 ns");
+  EXPECT_EQ(FormatSeconds(-2.5), "-2.500 s");
+  EXPECT_EQ(FormatSeconds(-0.0125), "-12.50 ms");
+  EXPECT_EQ(FormatSeconds(59.999), "59.999 s");
+  EXPECT_EQ(FormatSeconds(60.0), "1m 0.0s");
+  EXPECT_EQ(FormatSeconds(90.5), "1m 30.5s");
+  EXPECT_EQ(FormatSeconds(3599.9), "59m 59.9s");
+  EXPECT_EQ(FormatSeconds(3600.0), "1h 0m 0s");
+  EXPECT_EQ(FormatSeconds(3661.0), "1h 1m 1s");
+  EXPECT_EQ(FormatSeconds(7384.0), "2h 3m 4s");
+}
+
+TEST(MemoryTest, TrackerObservesCurrentAndPeak) {
+  MemoryTracker& mt = MemoryTracker::Instance();
+  mt.Reset();
+  mt.Observe("idx", 100);
+  mt.Observe("idx", 40);  // current drops, peak stays
+  mt.Observe("aux", 7);
+  auto snap = mt.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].tag, "aux");  // lexicographic order
+  EXPECT_EQ(snap[0].current_bytes, 7u);
+  EXPECT_EQ(snap[0].peak_bytes, 7u);
+  EXPECT_EQ(snap[1].tag, "idx");
+  EXPECT_EQ(snap[1].current_bytes, 40u);
+  EXPECT_EQ(snap[1].peak_bytes, 100u);
+  mt.Reset();
+  EXPECT_TRUE(mt.Snapshot().empty());
+}
+
+TEST(MemoryTest, TrackerObserveBreakdown) {
+  MemoryTracker& mt = MemoryTracker::Instance();
+  mt.Reset();
+  MemoryBreakdown mb;
+  mb.Add("grid", 1000);
+  mb.Add("postings", 250);
+  mt.ObserveBreakdown(mb);
+  auto snap = mt.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].tag, "grid");
+  EXPECT_EQ(snap[0].peak_bytes, 1000u);
+  EXPECT_EQ(snap[1].tag, "postings");
+  EXPECT_EQ(snap[1].current_bytes, 250u);
+  mt.Reset();
+}
+
 TEST(MemoryTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(512), "512 B");
   EXPECT_EQ(FormatBytes(2048), "2.0 KiB");

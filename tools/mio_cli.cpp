@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "baseline/nested_loop.hpp"
 #include "baseline/nl_kdtree.hpp"
@@ -25,6 +26,9 @@
 #include "io/dataset_io.hpp"
 #include "io/importers.hpp"
 #include "object/spatial_sort.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_sink.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -38,7 +42,9 @@ void Usage() {
       "  stats     --in=FILE\n"
       "  query     --in=FILE --r=R [--k=K] [--threads=T] [--delta=D]\n"
       "            [--algo=bigrid|nl|nl-kd|sg|rt|theoretical] [--labels=DIR]\n"
+      "            [--trace-out=FILE] [--stats-json=FILE|-]\n"
       "  sweep     --in=FILE --r=R1,R2,... [--k=K] [--threads=T] [--labels=DIR]\n"
+      "            [--trace-out=FILE]\n"
       "  convert   --in=FILE --out=FILE [--format=binary|text]\n"
       "  import-swc --dir=DIR --out=FILE      (NeuroMorpho morphologies)\n"
       "  import-csv --in=FILE --out=FILE [--id-col=id --x-col=x --y-col=y]\n"
@@ -118,6 +124,36 @@ void PrintResult(const mio::QueryResult& res, double elapsed) {
   }
 }
 
+// Shared tail of `query`/`sweep`: dump the collected trace and/or the
+// machine-readable stats document if the user asked for them.
+int EmitObservability(const mio::ArgParser& args, const mio::QueryResult& res,
+                      mio::obs::RunInfo info) {
+  if (args.Has("trace-out")) {
+    std::string path = args.GetString("trace-out", "trace.json");
+    mio::Status st = mio::obs::Tracer::Instance().WriteChromeTrace(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::size_t dropped = mio::obs::Tracer::Instance().DroppedEvents();
+    std::printf("trace: %s (%zu threads%s)\n", path.c_str(),
+                mio::obs::Tracer::Instance().NumThreads(),
+                dropped > 0 ? ", ring overflowed" : "");
+  }
+  if (args.Has("stats-json")) {
+    std::string path = args.GetString("stats-json", "-");
+    mio::obs::MetricsSnapshot metrics = mio::obs::SnapshotMetrics();
+    mio::Status st = mio::obs::WriteTextFile(
+        path, mio::obs::StatsJson(res.stats, info, &metrics) + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (path != "-") std::printf("stats: %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int CmdQuery(const mio::ArgParser& args) {
   mio::Result<mio::ObjectSet> loaded = LoadAny(args.GetString("in", ""));
   if (!loaded.ok()) {
@@ -129,16 +165,16 @@ int CmdQuery(const mio::ArgParser& args) {
   std::size_t k = static_cast<std::size_t>(args.GetInt("k", 1));
   int threads = static_cast<int>(args.GetInt("threads", 1));
   std::string algo = args.GetString("algo", "bigrid");
+  if (args.Has("trace-out")) mio::obs::Tracer::Instance().SetEnabled(true);
+  mio::obs::ResetMetrics();
+  mio::MemoryTracker::Instance().Observe("dataset", set.MemoryUsageBytes());
 
   mio::Timer t;
-  if (args.Has("delta")) {
-    mio::QueryResult res =
-        mio::TemporalMioQuery(set, r, args.GetDouble("delta", 0.0), k);
-    PrintResult(res, t.ElapsedSeconds());
-    return 0;
-  }
   mio::QueryResult res;
-  if (algo == "nl") {
+  if (args.Has("delta")) {
+    algo = "temporal";
+    res = mio::TemporalMioQuery(set, r, args.GetDouble("delta", 0.0), k);
+  } else if (algo == "nl") {
     res = mio::NestedLoopQuery(set, r, threads, k);
   } else if (algo == "nl-kd") {
     res = mio::NlKdQuery(set, r, threads, k);
@@ -160,8 +196,18 @@ int CmdQuery(const mio::ArgParser& args) {
     opt.use_labels = opt.record_labels = args.Has("labels");
     res = engine.Query(r, opt);
   }
-  PrintResult(res, t.ElapsedSeconds());
-  return 0;
+  double elapsed = t.ElapsedSeconds();
+  PrintResult(res, elapsed);
+
+  mio::obs::RunInfo info;
+  info.bench = "mio_cli";
+  info.dataset = args.GetString("in", "");
+  info.algo = algo;
+  info.r = r;
+  info.k = k;
+  info.threads = threads;
+  info.wall_seconds = elapsed;
+  return EmitObservability(args, res, info);
 }
 
 int CmdSweep(const mio::ArgParser& args) {
@@ -177,19 +223,34 @@ int CmdSweep(const mio::ArgParser& args) {
   opt.threads = static_cast<int>(args.GetInt("threads", 1));
   opt.use_labels = opt.record_labels = true;  // the sweep is labels' use case
   opt.reuse_grid = true;  // same-ceiling queries share the large grid
+  if (args.Has("trace-out")) mio::obs::Tracer::Instance().SetEnabled(true);
 
   std::printf("%8s %10s %10s %12s %10s\n", "r", "winner", "tau", "time[s]",
               "labels");
+  mio::QueryResult last;
+  double last_r = 0.0, last_wall = 0.0;
   for (double r : args.GetDoubleList("r", {4, 6, 8, 10})) {
     bool had = engine.HasLabelsFor(r);
     mio::Timer t;
     mio::QueryResult res = engine.Query(r, opt);
     if (res.topk.empty()) continue;
+    double elapsed = t.ElapsedSeconds();
     std::printf("%8.2f %10u %10u %12.4f %10s\n", r, res.best().id,
-                res.best().score, t.ElapsedSeconds(),
-                had ? "reused" : "recorded");
+                res.best().score, elapsed, had ? "reused" : "recorded");
+    last = std::move(res);
+    last_r = r;
+    last_wall = elapsed;
   }
-  return 0;
+
+  mio::obs::RunInfo info;
+  info.bench = "mio_cli_sweep";
+  info.dataset = args.GetString("in", "");
+  info.algo = "bigrid-label";
+  info.r = last_r;
+  info.k = opt.k;
+  info.threads = opt.threads;
+  info.wall_seconds = last_wall;
+  return EmitObservability(args, last, info);
 }
 
 int CmdConvert(const mio::ArgParser& args) {
