@@ -48,3 +48,9 @@ for tier in scalar sse2 avx2; do
 done
 
 echo "check_kernels: all passes clean"
+
+# The robustness gate (guardrails, fault injection, corruption matrix)
+# rides along unless explicitly skipped.
+if [ "${MIO_SKIP_ROBUSTNESS:-0}" != "1" ]; then
+  "$SRC/scripts/check_robustness.sh" "$PREFIX-robust"
+fi

@@ -1,0 +1,199 @@
+#include "common/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace mio {
+namespace fault {
+
+namespace {
+
+enum class Mode { kAlways, kProb, kNth, kAfter };
+
+struct ArmedFault {
+  std::string site;  // exact, or prefix when wildcard
+  bool wildcard = false;
+  Mode mode = Mode::kAlways;
+  double p = 0.0;
+  std::uint64_t n = 0;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ArmedFault> armed;
+  std::uint64_t rng_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: shutdown-safe
+  return *r;
+}
+
+// Armed-entry count mirrored outside the lock so unarmed site checks pay
+// no mutex; env parsing is resolved before the first read of it.
+std::atomic<std::size_t> g_armed_count{0};
+std::atomic<std::uint64_t> g_injected_count{0};
+std::once_flag g_env_once;
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+bool SiteMatches(const ArmedFault& f, const char* site) {
+  if (f.wildcard) {
+    return std::string_view(site).substr(0, f.site.size()) == f.site;
+  }
+  return f.site == site;
+}
+
+void InstallFromEnv() {
+  const char* seed = std::getenv("MIO_FAULT_SEED");
+  if (seed != nullptr) {
+    GetRegistry().rng_seed = std::strtoull(seed, nullptr, 10);
+  }
+  const char* spec = std::getenv("MIO_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  Status st = ArmFromSpec(spec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "MIO_FAULT: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& FaultSites() {
+  static const std::vector<std::string> kSites = {
+      "io.dataset.read",   // per read op in LoadDatasetBinary (short read)
+      "io.dataset.write",  // SaveDatasetBinary entry (failed write)
+      "io.label.read",     // per read op in LabelStore::Load (short read)
+      "io.label.write",    // LabelStore::Save entry (failed write)
+      "io.import.open",    // importer file open (SWC / CSV)
+      "alloc.bigrid",      // per-object allocation during BIGrid build
+  };
+  return kSites;
+}
+
+Status Arm(const std::string& site, const std::string& spec) {
+  ArmedFault f;
+  f.site = site;
+  if (!f.site.empty() && f.site.back() == '*') {
+    f.wildcard = true;
+    f.site.pop_back();
+  }
+  if (site.empty()) {
+    return Status::InvalidArgument("empty fault site");
+  }
+  if (spec == "always") {
+    f.mode = Mode::kAlways;
+  } else if (spec.rfind("p=", 0) == 0) {
+    f.mode = Mode::kProb;
+    char* end = nullptr;
+    f.p = std::strtod(spec.c_str() + 2, &end);
+    if (end == spec.c_str() + 2 || *end != '\0' || f.p < 0.0 || f.p > 1.0) {
+      return Status::InvalidArgument("bad fault probability: " + spec);
+    }
+  } else if (spec.rfind("nth=", 0) == 0 || spec.rfind("after=", 0) == 0) {
+    f.mode = spec[0] == 'n' ? Mode::kNth : Mode::kAfter;
+    const char* num = spec.c_str() + (f.mode == Mode::kNth ? 4 : 6);
+    char* end = nullptr;
+    f.n = std::strtoull(num, &end, 10);
+    if (end == num || *end != '\0' || (f.mode == Mode::kNth && f.n == 0)) {
+      return Status::InvalidArgument("bad fault count: " + spec);
+    }
+  } else {
+    return Status::InvalidArgument("unknown fault spec '" + spec +
+                                   "' (want always | p=F | nth=N | after=N)");
+  }
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.armed.push_back(std::move(f));
+  g_armed_count.store(reg.armed.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("fault entry missing ':': " + entry);
+    }
+    MIO_RETURN_NOT_OK(Arm(entry.substr(0, colon), entry.substr(colon + 1)));
+  }
+  return Status::OK();
+}
+
+void Reset() {
+  // Consume the env spec first so a Reset before any site check still
+  // prevents it from re-arming later.
+  std::call_once(g_env_once, InstallFromEnv);
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.armed.clear();
+  g_armed_count.store(0, std::memory_order_release);
+}
+
+std::size_t ArmedCount() {
+  std::call_once(g_env_once, InstallFromEnv);
+  return g_armed_count.load(std::memory_order_acquire);
+}
+
+std::uint64_t InjectedCount() {
+  return g_injected_count.load(std::memory_order_relaxed);
+}
+
+#if !defined(MIO_FAULT_INJECTION_DISABLED)
+
+bool ShouldFail(const char* site) {
+  std::call_once(g_env_once, InstallFromEnv);
+  if (g_armed_count.load(std::memory_order_acquire) == 0) return false;
+
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ArmedFault& f : reg.armed) {
+    if (!SiteMatches(f, site)) continue;
+    std::uint64_t hit = ++f.hits;
+    bool fail = false;
+    switch (f.mode) {
+      case Mode::kAlways:
+        fail = true;
+        break;
+      case Mode::kProb:
+        // Deterministic per-process stream: hash of (seed, hit index).
+        fail = static_cast<double>(SplitMix64(reg.rng_seed ^ hit)) <
+               f.p * 18446744073709551616.0;  // 2^64
+        break;
+      case Mode::kNth:
+        fail = hit == f.n;
+        break;
+      case Mode::kAfter:
+        fail = hit > f.n;
+        break;
+    }
+    if (fail) {
+      g_injected_count.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs::Counter::kFaultsInjected);
+      return true;
+    }
+  }
+  return false;
+}
+
+#endif  // !MIO_FAULT_INJECTION_DISABLED
+
+}  // namespace fault
+}  // namespace mio

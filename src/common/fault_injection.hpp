@@ -1,0 +1,80 @@
+// Fault-injection framework: named fault sites compiled into the IO and
+// allocation paths so the Status/Result error handling is exercisable
+// under test and in staging, not just written. A site is a string like
+// "io.dataset.read"; arming a fault makes MIO_FAULT_HIT(site) return true
+// according to a trigger spec, and the caller turns that into the same
+// failure path a real short read / failed allocation would take.
+//
+// Arming:
+//   - environment:   MIO_FAULT=io.dataset.read:p=0.5;alloc.bigrid:nth=2
+//     (parsed once, on the first site check; bad specs are reported to
+//     stderr and skipped). MIO_FAULT_SEED pins the probabilistic stream.
+//   - programmatic:  fault::Arm("io.label.write", "always") in tests;
+//     fault::Reset() disarms everything, including env-armed faults.
+//
+// Spec grammar (docs/ROBUSTNESS.md):
+//   always      every hit fails
+//   p=F         each hit fails independently with probability F (the
+//               stream is deterministic per process given MIO_FAULT_SEED)
+//   nth=N       exactly the N-th hit fails (1-based), one-shot
+//   after=N     every hit after the first N succeeds fails
+// A site pattern ending in '*' matches any site with that prefix
+// ("io.*" matches every IO site).
+//
+// Sites are registered in fault_injection.cpp (FaultSites()); keep that
+// table and the docs in sync when adding one.
+//
+// Compile-out: -DMIO_FAULT_INJECTION=OFF defines MIO_FAULT_INJECTION_DISABLED
+// and every MIO_FAULT_HIT site folds to `false` at compile time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mio {
+namespace fault {
+
+/// All known fault-site names (the registry printed in docs/ROBUSTNESS.md).
+const std::vector<std::string>& FaultSites();
+
+/// Arms one fault: `site` (exact name or prefix pattern ending in '*')
+/// plus a trigger spec from the grammar above.
+Status Arm(const std::string& site, const std::string& spec);
+
+/// Parses a full MIO_FAULT-style string ("site:spec[;site:spec...]",
+/// ';' or ',' separated) and arms every entry.
+Status ArmFromSpec(const std::string& spec);
+
+/// Disarms every fault (env-armed ones included; the environment is not
+/// re-read afterwards).
+void Reset();
+
+/// Number of armed fault entries.
+std::size_t ArmedCount();
+
+/// Total faults triggered since process start (mirrors the
+/// faults.injected metrics counter, readable without a snapshot).
+std::uint64_t InjectedCount();
+
+#if defined(MIO_FAULT_INJECTION_DISABLED)
+
+inline bool ShouldFail(const char* /*site*/) { return false; }
+inline constexpr bool kCompiledIn = false;
+
+#else
+
+/// True when an armed fault decides this hit of `site` fails. Fast path
+/// (nothing armed) is two relaxed atomic loads.
+bool ShouldFail(const char* site);
+inline constexpr bool kCompiledIn = true;
+
+#endif
+
+}  // namespace fault
+}  // namespace mio
+
+/// Fault-site check; folds to `false` when fault injection is compiled out.
+#define MIO_FAULT_HIT(site) (::mio::fault::ShouldFail(site))

@@ -1,0 +1,49 @@
+#include "common/guardrails.hpp"
+
+#include <cstdio>
+
+namespace mio {
+
+Status QueryGuard::status() const {
+  switch (code()) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kDeadlineExceeded: {
+      char msg[64];
+      std::snprintf(msg, sizeof(msg), "query deadline of %.3f ms exceeded",
+                    deadline_ms_);
+      return Status::DeadlineExceeded(msg);
+    }
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled by caller");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(
+          "memory budget exhausted (after shedding all optional work)");
+    default:
+      return Status::Internal("guard tripped with unexpected code");
+  }
+}
+
+DegradationPlan PlanDegradation(const DegradationInputs& in) {
+  DegradationPlan plan;
+  if (in.budget_bytes == 0) return plan;  // unlimited
+
+  std::size_t projected = in.required_bytes + in.label_bytes +
+                          in.cache_bytes + in.lb_bitset_bytes;
+  if (projected > in.budget_bytes && in.label_bytes > 0) {
+    plan.shed_label_recording = true;
+    projected -= in.label_bytes;
+  }
+  if (projected > in.budget_bytes && in.cache_bytes > 0) {
+    plan.drop_grid_cache = true;
+    projected -= in.cache_bytes;
+  }
+  if (projected > in.budget_bytes && in.lb_bitset_bytes > 0) {
+    plan.stream_verification = true;
+    projected -= in.lb_bitset_bytes;
+  }
+  plan.abort = projected > in.budget_bytes;
+  return plan;
+}
+
+}  // namespace mio

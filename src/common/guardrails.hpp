@@ -1,0 +1,145 @@
+// Per-query resource guardrails: a wall-clock deadline, a cooperative
+// cancellation token, and a memory-budget degradation planner. The engine
+// creates one QueryGuard per query and the phase loops poll it on an
+// amortised stride (every N cells/objects, including inside OpenMP
+// regions), so a pathological query stops within one stride of its limit
+// instead of running unbounded.
+//
+// Trip semantics: the first limit that fires wins (an atomic CAS on the
+// status code); every later Poll() returns true immediately, so parallel
+// workers drain their remaining iterations at one relaxed load each. The
+// engine converts a tripped guard into an incomplete QueryResult carrying
+// the best-so-far answer (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+#include "common/status.hpp"
+
+namespace mio {
+
+/// Poll strides: how many loop iterations run between two guard polls.
+/// Object-granular loops (build, bounding, candidate queue) use the
+/// coarse stride; point-granular inner loops the fine one. Chosen so the
+/// poll (a steady_clock read) stays far below 1% of loop cost while a
+/// deadline still fires within a few hundred microseconds of real work.
+inline constexpr std::size_t kGuardStrideObjects = 256;
+inline constexpr std::size_t kGuardStridePoints = 64;
+
+/// Cooperative cancellation: share one token between the query thread and
+/// any controller thread; Cancel() makes the query return kCancelled at
+/// its next guard poll. Reusable after Reset().
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// One query's limit state. Configure before the query starts; Poll()
+/// from any thread during it. Not reusable across queries.
+class QueryGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Arms the deadline `ms` milliseconds from now (<= 0 leaves it off).
+  void SetDeadline(double ms) {
+    if (ms <= 0.0) return;
+    deadline_ms_ = ms;
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(ms));
+    has_deadline_ = true;
+  }
+
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+
+  /// True when any limit is armed (deadline or cancel; the memory budget
+  /// is enforced by the planner below, not by polling).
+  bool active() const { return has_deadline_ || cancel_ != nullptr; }
+
+  bool tripped() const {
+    return code_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Amortised check: true when the query must stop. Callers stride this
+  /// (e.g. every 256 objects); once tripped it costs one relaxed load.
+  bool Poll() {
+    if (tripped()) return true;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Trip(StatusCode::kCancelled);
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Trip(StatusCode::kDeadlineExceeded);
+    }
+    return false;
+  }
+
+  /// Explicit kResourceExhausted trip (budget abort, injected allocation
+  /// failure). Returns true for `if (...) return;` call sites.
+  bool TripResource() { return Trip(StatusCode::kResourceExhausted); }
+
+  StatusCode code() const {
+    return static_cast<StatusCode>(code_.load(std::memory_order_relaxed));
+  }
+
+  /// OK until tripped; afterwards the trip code with a canned message.
+  Status status() const;
+
+ private:
+  bool Trip(StatusCode c) {
+    int expected = 0;
+    code_.compare_exchange_strong(expected, static_cast<int>(c),
+                                  std::memory_order_relaxed);
+    return true;
+  }
+
+  std::atomic<int> code_{0};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  double deadline_ms_ = 0.0;
+  const CancelToken* cancel_ = nullptr;
+};
+
+/// Inputs to the memory-budget planner: the index bytes the query cannot
+/// run without, plus the cost of each sheddable extra (0 = not wanted).
+struct DegradationInputs {
+  std::size_t budget_bytes = 0;     ///< 0 = unlimited
+  std::size_t required_bytes = 0;   ///< the BIGrid itself
+  std::size_t label_bytes = 0;      ///< label recording (step 1)
+  std::size_t cache_bytes = 0;      ///< retained grid cache (step 2)
+  std::size_t lb_bitset_bytes = 0;  ///< kept lower-bound bitsets (step 3)
+};
+
+/// The degradation ladder (docs/ROBUSTNESS.md): optional work is shed in
+/// a fixed order until the projection fits the budget —
+///   1. skip label recording
+///   2. drop the reuse-grid cache
+///   3. fall back from EWAH-seeded to streaming verification
+/// and only if the required bytes alone still exceed the budget does the
+/// query abort with kResourceExhausted.
+struct DegradationPlan {
+  bool shed_label_recording = false;
+  bool drop_grid_cache = false;
+  bool stream_verification = false;
+  bool abort = false;
+
+  /// Highest ladder step applied (0 = none, 3 = streaming verification).
+  int level() const {
+    if (stream_verification) return 3;
+    if (drop_grid_cache) return 2;
+    if (shed_label_recording) return 1;
+    return 0;
+  }
+  bool degraded() const { return level() > 0; }
+};
+
+DegradationPlan PlanDegradation(const DegradationInputs& in);
+
+}  // namespace mio

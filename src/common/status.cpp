@@ -20,8 +20,43 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    // 1 is reserved for generic/usage failures.
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kIOError:
+      return 3;
+    case StatusCode::kCorruption:
+      return 4;
+    case StatusCode::kNotFound:
+      return 5;
+    case StatusCode::kOutOfRange:
+      return 6;
+    case StatusCode::kUnimplemented:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
+    case StatusCode::kResourceExhausted:
+      return 10;
+    case StatusCode::kCancelled:
+      return 11;
+  }
+  return 1;
 }
 
 std::string Status::ToString() const {

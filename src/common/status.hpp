@@ -19,10 +19,17 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns the canonical human-readable name of a status code.
 const char* StatusCodeName(StatusCode code);
+
+/// Process exit code for a status: 0 for OK, a distinct small nonzero
+/// value per error code (docs/ROBUSTNESS.md; scripts branch on these).
+int ExitCodeFor(StatusCode code);
 
 /// \brief Outcome of an operation that can fail without a payload.
 ///
@@ -55,6 +62,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.hpp"
+#include "common/guardrails.hpp"
 #include "common/omp_utils.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -93,7 +95,8 @@ void BiGrid::MapPointLarge(ObjectId i, const Point& p) {
   cell.AddPostingPoint(i, p);
 }
 
-void BiGrid::Build(const LabelSet* labels, bool build_groups) {
+void BiGrid::Build(const LabelSet* labels, bool build_groups,
+                   QueryGuard* guard) {
   MIO_TRACE_SPAN_CAT("grid.build", "grid");
   const ObjectSet& objs = *objects_;
   const std::size_t n = objs.size();
@@ -109,6 +112,15 @@ void BiGrid::Build(const LabelSet* labels, bool build_groups) {
   }
 
   for (ObjectId i = 0; i < n; ++i) {
+    if (guard != nullptr && (i % kGuardStrideObjects) == 0) {
+      if (MIO_FAULT_HIT("alloc.bigrid")) guard->TripResource();
+      if (guard->Poll()) {
+        // Abandoned mid-map: the grid misses points, so it must never be
+        // cached or queried; the engine discards it.
+        large_->complete = false;
+        return;
+      }
+    }
     const Object& o = objs[i];
     for (std::size_t j = 0; j < o.points.size(); ++j) {
       if (labels != nullptr && (labels->Get(i, j) & label::kMap) == 0) {
@@ -130,10 +142,10 @@ void BiGrid::Build(const LabelSet* labels, bool build_groups) {
 }
 
 void BiGrid::BuildParallel(int threads, const LabelSet* labels,
-                           bool build_groups) {
+                           bool build_groups, QueryGuard* guard) {
   threads = ResolveThreads(threads);
   if (threads <= 1) {
-    Build(labels, build_groups);
+    Build(labels, build_groups, guard);
     return;
   }
   MIO_TRACE_SPAN_CAT("grid.build_parallel", "grid");
@@ -159,6 +171,10 @@ void BiGrid::BuildParallel(int threads, const LabelSet* labels,
     MIO_TRACE_SPAN_CAT("grid.map.worker", "grid");
     std::size_t t = static_cast<std::size_t>(ThreadId());
     for (ObjectId i = 0; i < n; ++i) {
+      if (guard != nullptr && (i % kGuardStrideObjects) == 0) {
+        if (t == 0 && MIO_FAULT_HIT("alloc.bigrid")) guard->TripResource();
+        if (guard->Poll()) break;  // each worker drains independently
+      }
       const Object& o = objs[i];
       for (std::size_t j = 0; j < o.points.size(); ++j) {
         if (labels != nullptr && (labels->Get(i, j) & label::kMap) == 0) {
@@ -177,6 +193,11 @@ void BiGrid::BuildParallel(int threads, const LabelSet* labels,
         }
       }
     }
+  }
+
+  if (guard != nullptr && guard->tripped()) {
+    large_->complete = false;  // partial map: never cache or query
+    return;
   }
 
   DeriveKeyListsFromCells(threads);

@@ -42,6 +42,8 @@
 
 namespace mio {
 
+class QueryGuard;  // common/guardrails.hpp
+
 /// One small-grid cell: the compressed bitset plus the build-time
 /// bookkeeping that feeds the key lists (Algorithm 3 lines 5-13).
 struct SmallCell {
@@ -184,14 +186,18 @@ class BiGrid {
   /// non-empty, points with a cleared kMap bit are skipped entirely
   /// (GRID-MAPPING-WITH-LABEL, Lemma 3). `build_groups` additionally
   /// materialises the P_{i,K} groups needed by the parallel phases.
-  void Build(const LabelSet* labels = nullptr, bool build_groups = false);
+  /// `guard` (optional) is polled on an amortised stride and checked
+  /// against the "alloc.bigrid" fault site; a tripped guard abandons the
+  /// build early (the grid is then incomplete and must be discarded).
+  void Build(const LabelSet* labels = nullptr, bool build_groups = false,
+             QueryGuard* guard = nullptr);
 
   /// Hash-partitioned parallel build (paper §IV, PARALLEL-GRID-MAPPING):
   /// each thread owns the cells whose key hashes to it, so no cell is
   /// written by two threads; the key lists are derived in a post-pass,
   /// which yields exactly the sets Algorithm 3 builds incrementally.
   void BuildParallel(int threads, const LabelSet* labels = nullptr,
-                     bool build_groups = false);
+                     bool build_groups = false, QueryGuard* guard = nullptr);
 
   const ObjectSet& objects() const { return *objects_; }
   double r() const { return r_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/guardrails.hpp"
 #include "obs/metrics.hpp"
 
 namespace mio {
@@ -15,13 +16,17 @@ std::uint32_t LowerBoundResult::KthLargest(std::size_t k) const {
   return copy[k - 1];
 }
 
-LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets) {
+LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets,
+                               QueryGuard* guard) {
   const std::size_t n = grid.objects().size();
   LowerBoundResult res;
   res.tau_low.assign(n, 0);
   if (keep_bitsets) res.lb_bitsets.resize(n);
 
   for (ObjectId i = 0; i < n; ++i) {
+    if (guard != nullptr && (i % kGuardStrideObjects) == 0 && guard->Poll()) {
+      break;  // partial tau_low entries remain valid lower bounds
+    }
     Ewah acc;
     for (const CellKey& key : grid.KeyList(i)) {
       const SmallCell* cell = grid.FindSmall(key);

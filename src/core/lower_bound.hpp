@@ -13,6 +13,8 @@
 
 namespace mio {
 
+class QueryGuard;  // common/guardrails.hpp
+
 /// Lower bounds for all objects.
 struct LowerBoundResult {
   std::vector<std::uint32_t> tau_low;
@@ -25,7 +27,11 @@ struct LowerBoundResult {
   std::uint32_t KthLargest(std::size_t k) const;
 };
 
-/// Serial lower-bounding over the whole collection.
-LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets);
+/// Serial lower-bounding over the whole collection. `guard` (optional) is
+/// polled on an amortised stride; a trip abandons the scan, leaving the
+/// remaining tau_low entries at 0 (the partial bounds stay valid lower
+/// bounds, so the engine's best-so-far answer may still use them).
+LowerBoundResult LowerBounding(const BiGrid& grid, bool keep_bitsets,
+                               QueryGuard* guard = nullptr);
 
 }  // namespace mio

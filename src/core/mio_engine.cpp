@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/guardrails.hpp"
 #include "common/omp_utils.hpp"
 #include "common/timer.hpp"
 #include "core/bigrid.hpp"
@@ -10,6 +11,7 @@
 #include "core/parallel_phases.hpp"
 #include "core/upper_bound.hpp"
 #include "core/verification.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace mio {
@@ -32,8 +34,13 @@ const LabelSet* MioEngine::LookupLabels(int ceil_r, double* load_seconds) {
       auto [ins, _] = label_cache_.emplace(ceil_r, std::move(loaded).value());
       return &ins->second;
     }
-    // Corrupt / mismatched files are ignored: the query falls back to the
-    // label-free pipeline, which is always correct.
+    // A corrupt / mismatched file is a cache miss, not an error: evict it
+    // so this query's label-free run re-records and rewrites the labels,
+    // and fall back to the always-correct label-free pipeline.
+    if (loaded.status().code() == StatusCode::kCorruption) {
+      obs::Add(obs::Counter::kLabelsCorruptRecovered);
+      store_->Remove(ceil_r);
+    }
   }
   return nullptr;
 }
@@ -49,6 +56,37 @@ void MioEngine::ClearLabels() {
   if (store_ != nullptr) store_->Clear();
 }
 
+namespace {
+
+/// Converts a tripped guard into the result's terminal state: non-OK
+/// status, complete=false, and a best-so-far answer. Exact scores from a
+/// (possibly short) verification win; otherwise the best partial lower
+/// bound stands in (its score is a valid lower bound of the true tau).
+void FinalizeTripped(const QueryGuard& guard, const LowerBoundResult& lb,
+                     QueryResult* res) {
+  res->status = guard.status();
+  res->complete = false;
+  switch (guard.code()) {
+    case StatusCode::kDeadlineExceeded:
+      obs::Add(obs::Counter::kQueryDeadlineExceeded);
+      break;
+    case StatusCode::kCancelled:
+      obs::Add(obs::Counter::kQueryCancelled);
+      break;
+    default:
+      break;
+  }
+  if (!res->topk.empty() || lb.tau_low.empty()) return;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < lb.tau_low.size(); ++i) {
+    if (lb.tau_low[i] > lb.tau_low[best]) best = i;
+  }
+  res->topk.push_back(ScoredObject{static_cast<ObjectId>(best),
+                                   lb.tau_low[best]});
+}
+
+}  // namespace
+
 QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   MIO_TRACE_SPAN_CAT("query", "query");
   QueryResult res;
@@ -60,6 +98,10 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   const bool parallel = threads > 1;
   QueryStats& stats = res.stats;
   stats.threads = threads;
+
+  QueryGuard guard;
+  guard.SetDeadline(options.deadline_ms);
+  guard.SetCancelToken(options.cancel);
 
   Timer total_timer;
 
@@ -79,8 +121,8 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   }
   // Labeling-3 is only sound when replaying the exact recorded radius
   // (see labels.hpp); Labeling-1/2 transfer to the whole ceiling class.
-  const bool use_verify_bit =
-      use_labels != nullptr && use_labels->recorded_r == r;
+  // Non-const: the degradation ladder may clear it (see below).
+  bool use_verify_bit = use_labels != nullptr && use_labels->recorded_r == r;
 
   // --- GRID-MAPPING(O, r) ------------------------------------------------
   // Planar data gets the tighter 2-D small grid (footnote 1); the large
@@ -97,51 +139,92 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
     MIO_TRACE_SPAN_CAT("grid_mapping", "query");
     ScopedAccumulator acc(&stats.phases.grid_mapping);
     if (parallel) {
-      grid.BuildParallel(threads, use_labels, /*build_groups=*/true);
+      grid.BuildParallel(threads, use_labels, /*build_groups=*/true, &guard);
     } else {
-      grid.Build(use_labels, /*build_groups=*/false);
+      grid.Build(use_labels, /*build_groups=*/false, &guard);
     }
   }
   stats.reused_grid = grid.reused_large_grid();
-  if (options.reuse_grid && grid.large_grid_complete()) {
-    grid_cache_[ceil_r] = grid.ShareLargeGrid();
-  }
   stats.cells_small = grid.NumSmallCells();
   stats.cells_large = grid.NumLargeCells();
   if (use_labels != nullptr) {
     stats.points_pruned_by_labels = use_labels->CountAnyPruned();
   }
 
-  // --- LOWER-BOUNDING(O, r) ----------------------------------------------
   // The with-label verification seeds its accumulators from the
-  // lower-bound unions, so keep them in that mode.
-  const bool keep_lb_bitsets = use_labels != nullptr;
+  // lower-bound unions, so keep them in that mode. Non-const: the
+  // degradation ladder may shed them (with use_verify_bit — the kVerify
+  // bit is only sound on top of the lower-bound seed).
+  bool keep_lb_bitsets = use_labels != nullptr;
+  bool cache_this_grid = options.reuse_grid && grid.large_grid_complete();
+
+  // --- Memory-budget degradation (docs/ROBUSTNESS.md) ---------------------
+  // Project this query's footprint against the budget and shed optional
+  // work in ladder order before giving up. The projection uses the built
+  // grid's real footprint plus cheap estimates for the optional parts.
+  if (options.memory_budget_bytes > 0 && !guard.tripped()) {
+    MemoryBreakdown mb = grid.MemoryUsage();
+    DegradationInputs in;
+    in.budget_bytes = options.memory_budget_bytes;
+    in.required_bytes = mb.Total();
+    in.label_bytes =
+        record_labels != nullptr ? recorded.MemoryUsageBytes() : 0;
+    if (cache_this_grid) {
+      for (const auto& [name, bytes] : mb.parts) {
+        if (name == "large_grid") in.cache_bytes = bytes;
+      }
+    }
+    // The lower-bound unions are not built yet; estimate one compressed
+    // bitset per object.
+    in.lb_bitset_bytes = keep_lb_bitsets ? objects_.size() * 128 : 0;
+    DegradationPlan plan = PlanDegradation(in);
+    if (plan.shed_label_recording && record_labels != nullptr) {
+      record_labels = nullptr;
+      recorded = LabelSet{};
+    }
+    if (plan.drop_grid_cache) {
+      ClearGridCache();
+      cache_this_grid = false;
+    }
+    if (plan.stream_verification) {
+      keep_lb_bitsets = false;
+      use_verify_bit = false;  // sound only on top of the lb-bitset seed
+    }
+    if (plan.abort) guard.TripResource();
+    stats.degradation_level = static_cast<std::uint8_t>(plan.level());
+    if (plan.degraded()) obs::Add(obs::Counter::kQueryDegraded);
+  }
+  if (cache_this_grid && !guard.tripped()) {
+    grid_cache_[ceil_r] = grid.ShareLargeGrid();
+  }
+
+  // --- LOWER-BOUNDING(O, r) ----------------------------------------------
   LowerBoundResult lb;
-  {
+  if (!guard.tripped()) {
     MIO_TRACE_SPAN_CAT("lower_bounding", "query");
     ScopedAccumulator acc(&stats.phases.lower_bounding);
     lb = parallel ? ParallelLowerBounding(grid, options.lb_strategy, threads,
-                                          keep_lb_bitsets)
-                  : LowerBounding(grid, keep_lb_bitsets);
+                                          keep_lb_bitsets, &guard)
+                  : LowerBounding(grid, keep_lb_bitsets, &guard);
   }
   std::uint32_t threshold = k == 1 ? lb.tau_low_max : lb.KthLargest(k);
   stats.tau_low_max = lb.tau_low_max;
 
   // --- UPPER-BOUNDING(O, r, threshold) ------------------------------------
   UpperBoundResult ub;
-  {
+  if (!guard.tripped()) {
     MIO_TRACE_SPAN_CAT("upper_bounding", "query");
     ScopedAccumulator acc(&stats.phases.upper_bounding);
     ub = parallel
              ? ParallelUpperBounding(grid, threshold, options.ub_strategy,
                                      threads, use_labels, record_labels,
-                                     &stats)
+                                     &stats, &guard)
              : UpperBounding(grid, threshold, use_labels, record_labels,
-                             &stats);
+                             &stats, &guard);
   }
 
   // --- VERIFICATION(O_cand, r) ---------------------------------------------
-  {
+  if (!guard.tripped()) {
     MIO_TRACE_SPAN_CAT("verification", "query");
     ScopedAccumulator acc(&stats.phases.verification);
     const std::vector<Ewah>* lb_bits =
@@ -150,13 +233,15 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
         parallel
             ? ParallelVerification(grid, ub, k, threads, use_labels,
                                    record_labels, lb_bits, &stats,
-                                   use_verify_bit)
+                                   use_verify_bit, &guard)
             : Verification(grid, ub, k, use_labels, record_labels, lb_bits,
-                           &stats, use_verify_bit);
+                           &stats, use_verify_bit, &guard);
   }
 
   // --- Post-processing: label output (§III-D) -----------------------------
-  if (record_labels != nullptr) {
+  // A tripped query ran its phases partially, so the recorded labels are
+  // incomplete — discard them rather than persist a low-value set.
+  if (record_labels != nullptr && !guard.tripped()) {
     stats.points_pruned_by_labels = recorded.CountMapPruned();
     if (store_ != nullptr) {
       // Persisting is best-effort: a failed write only costs future reuse.
@@ -164,6 +249,8 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
     }
     label_cache_[ceil_r] = std::move(recorded);
   }
+
+  if (guard.tripped()) FinalizeTripped(guard, lb, &res);
 
   stats.memory = grid.MemoryUsage();
   if (use_labels != nullptr) {

@@ -6,6 +6,8 @@
 
 namespace mio {
 
+class CancelToken;  // common/guardrails.hpp
+
 /// Parallel lower-bounding partitioning (paper §IV).
 enum class LbStrategy {
   /// "LB-greedy-d": greedily divide O across cores by key-list size; no
@@ -57,6 +59,25 @@ struct QueryOptions {
   /// Fill QueryStats::compression (walks every cell bitset; off by
   /// default to keep measured query time honest).
   bool collect_compression_stats = false;
+
+  // --- Guardrails (docs/ROBUSTNESS.md) ----------------------------------
+  // Limits are cooperative: the phase loops poll them on an amortised
+  // stride, so a tripped query returns within one stride — carrying a
+  // best-so-far answer with QueryResult::complete = false — rather than
+  // at an exact instant.
+
+  /// Wall-clock budget for the whole query in milliseconds; 0 = unlimited.
+  double deadline_ms = 0.0;
+
+  /// Soft cap on query memory. Under pressure the engine sheds optional
+  /// work along the degradation ladder (skip label recording, drop the
+  /// grid cache, stream verification) before aborting with
+  /// kResourceExhausted; 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Cooperative cancellation from another thread; must outlive the
+  /// query. nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 }  // namespace mio

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/guardrails.hpp"
 #include "common/omp_utils.hpp"
 #include "common/timer.hpp"
 #include "core/partition.hpp"
@@ -19,7 +20,7 @@ namespace mio {
 namespace {
 
 LowerBoundResult LbGreedyDivide(const BiGrid& grid, int threads,
-                                bool keep_bitsets) {
+                                bool keep_bitsets, QueryGuard* guard) {
   const std::size_t n = grid.objects().size();
   LowerBoundResult res;
   res.tau_low.assign(n, 0);
@@ -36,8 +37,13 @@ LowerBoundResult LbGreedyDivide(const BiGrid& grid, int threads,
   {
     MIO_TRACE_SPAN_CAT("lb.worker", "lb");
     int t = ThreadId();
+    std::size_t done = 0;
     for (ObjectId i = 0; i < n; ++i) {
       if (assign[i] != t) continue;
+      if (guard != nullptr && (done++ % kGuardStrideObjects) == 0 &&
+          guard->Poll()) {
+        break;  // each worker drains independently
+      }
       Ewah acc;
       for (const CellKey& key : grid.KeyList(i)) {
         acc.OrWith(grid.FindSmall(key)->bits);
@@ -58,7 +64,7 @@ LowerBoundResult LbGreedyDivide(const BiGrid& grid, int threads,
 }
 
 LowerBoundResult LbHashPartition(const BiGrid& grid, int threads,
-                                 bool keep_bitsets) {
+                                 bool keep_bitsets, QueryGuard* guard) {
   const std::size_t n = grid.objects().size();
   LowerBoundResult res;
   res.tau_low.assign(n, 0);
@@ -70,6 +76,9 @@ LowerBoundResult LbHashPartition(const BiGrid& grid, int threads,
   // overhead Fig. 8 shows dominating when key lists are small.
   std::vector<Ewah> locals(threads);
   for (ObjectId i = 0; i < n; ++i) {
+    // Polled per object (not per stride): each iteration already pays for
+    // a parallel region, so the poll cost is negligible here.
+    if (guard != nullptr && guard->Poll()) break;
     const std::vector<CellKey>& keys = grid.KeyList(i);
 #pragma omp parallel num_threads(threads)
     {
@@ -94,15 +103,15 @@ LowerBoundResult LbHashPartition(const BiGrid& grid, int threads,
 
 LowerBoundResult ParallelLowerBounding(const BiGrid& grid,
                                        LbStrategy strategy, int threads,
-                                       bool keep_bitsets) {
+                                       bool keep_bitsets, QueryGuard* guard) {
   threads = ResolveThreads(threads);
-  if (threads <= 1) return LowerBounding(grid, keep_bitsets);
+  if (threads <= 1) return LowerBounding(grid, keep_bitsets, guard);
   switch (strategy) {
     case LbStrategy::kHashPartitionPoints:
-      return LbHashPartition(grid, threads, keep_bitsets);
+      return LbHashPartition(grid, threads, keep_bitsets, guard);
     case LbStrategy::kGreedyDivideObjects:
     default:
-      return LbGreedyDivide(grid, threads, keep_bitsets);
+      return LbGreedyDivide(grid, threads, keep_bitsets, guard);
   }
 }
 
@@ -129,13 +138,15 @@ void ClearUpperLabels(LabelSet* record, ObjectId i, const PointGroup& g,
 UpperBoundResult UbCostBasedGreedy(BiGrid& grid, std::uint32_t threshold,
                                    int threads, const LabelSet* use_labels,
                                    LabelSet* record_labels,
-                                   QueryStats* stats) {
+                                   QueryStats* stats, QueryGuard* guard) {
   const std::size_t n = grid.objects().size();
   UpperBoundResult res;
   res.tau_upp.assign(n, 0);
 
   std::vector<Ewah> locals(threads);
   for (ObjectId i = 0; i < n; ++i) {
+    // Per-object poll: each iteration spawns a parallel region anyway.
+    if (guard != nullptr && guard->Poll()) break;
     const std::vector<PointGroup>& groups = grid.LargeGroups(i);
 
     // Cost model Eq. (3): a group whose cell still needs b_adj costs 27
@@ -211,7 +222,8 @@ UpperBoundResult UbCostBasedGreedy(BiGrid& grid, std::uint32_t threshold,
 
 UpperBoundResult UbGreedyDivide(BiGrid& grid, std::uint32_t threshold,
                                 int threads, const LabelSet* use_labels,
-                                LabelSet* record_labels, QueryStats* stats) {
+                                LabelSet* record_labels, QueryStats* stats,
+                                QueryGuard* guard) {
   const ObjectSet& objects = grid.objects();
   const std::size_t n = objects.size();
   const double large_width = grid.large_width();
@@ -231,8 +243,13 @@ UpperBoundResult UbGreedyDivide(BiGrid& grid, std::uint32_t threshold,
     int t = ThreadId();
     std::unordered_map<CellKey, std::pair<Ewah, std::uint32_t>, CellKeyHash>
         memo;
+    std::size_t done = 0;
     for (ObjectId i = 0; i < n; ++i) {
       if (assign[i] != t) continue;
+      if (guard != nullptr && (done++ % kGuardStrideObjects) == 0 &&
+          guard->Poll()) {
+        break;  // each worker drains independently
+      }
       const Object& o = objects[i];
       Ewah acc;
       std::size_t acc_count = 0;
@@ -288,19 +305,20 @@ UpperBoundResult ParallelUpperBounding(BiGrid& grid, std::uint32_t threshold,
                                        UbStrategy strategy, int threads,
                                        const LabelSet* use_labels,
                                        LabelSet* record_labels,
-                                       QueryStats* stats) {
+                                       QueryStats* stats, QueryGuard* guard) {
   threads = ResolveThreads(threads);
   if (threads <= 1 || !grid.has_groups()) {
-    return UpperBounding(grid, threshold, use_labels, record_labels, stats);
+    return UpperBounding(grid, threshold, use_labels, record_labels, stats,
+                         guard);
   }
   switch (strategy) {
     case UbStrategy::kGreedyDivideObjects:
       return UbGreedyDivide(grid, threshold, threads, use_labels,
-                            record_labels, stats);
+                            record_labels, stats, guard);
     case UbStrategy::kCostBasedGreedy:
     default:
       return UbCostBasedGreedy(grid, threshold, threads, use_labels,
-                               record_labels, stats);
+                               record_labels, stats, guard);
   }
 }
 
@@ -319,7 +337,8 @@ namespace {
 std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
                                  const LabelSet* use_labels,
                                  LabelSet* record_labels, const Ewah* lb_bitset,
-                                 QueryStats* stats, bool use_verify_bit) {
+                                 QueryStats* stats, bool use_verify_bit,
+                                 QueryGuard* guard) {
   const std::vector<PointGroup>& groups = grid.LargeGroups(i);
   const std::size_t n = grid.objects().size();
 
@@ -387,7 +406,12 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
     int t = ThreadId();
     accs[t] = seed;
     PlainBitset b_scratch;  // per-core candidate-set scratch
+    std::size_t done = 0;
     for (const auto& [g, j] : tasks[t]) {
+      if (guard != nullptr && (done++ % kGuardStridePoints) == 0 &&
+          guard->Poll()) {
+        break;  // partial score: the caller discards it
+      }
       if (use_labels != nullptr) {
         std::uint8_t l = use_labels->Get(i, j);
         if ((l & label::kMap) == 0) continue;
@@ -417,11 +441,11 @@ std::vector<ScoredObject> ParallelVerification(
     BiGrid& grid, const UpperBoundResult& ub, std::size_t k, int threads,
     const LabelSet* use_labels, LabelSet* record_labels,
     const std::vector<Ewah>* lb_bitsets, QueryStats* stats,
-    bool use_verify_bit) {
+    bool use_verify_bit, QueryGuard* guard) {
   threads = ResolveThreads(threads);
   if (threads <= 1 || !grid.has_groups()) {
     return Verification(grid, ub, k, use_labels, record_labels, lb_bitsets,
-                        stats, use_verify_bit);
+                        stats, use_verify_bit, guard);
   }
   TopKTracker tracker(k);
   if (stats != nullptr) {
@@ -430,11 +454,13 @@ std::vector<ScoredObject> ParallelVerification(
   }
   for (ObjectId i : ub.candidates) {
     if (static_cast<long long>(ub.tau_upp[i]) <= tracker.Threshold()) break;
+    if (guard != nullptr && guard->Poll()) break;
     MIO_TRACE_SPAN_CAT("verify.candidate", "verify");
     std::uint32_t score =
         ParallelExactScore(grid, i, threads, use_labels, record_labels,
                            lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr,
-                           stats, use_verify_bit);
+                           stats, use_verify_bit, guard);
+    if (guard != nullptr && guard->tripped()) break;  // partial: discard
     if (stats != nullptr) ++stats->num_verified;
     tracker.Offer(i, score);
   }

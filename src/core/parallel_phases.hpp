@@ -20,26 +20,36 @@
 
 namespace mio {
 
-/// PARALLEL-LOWER-BOUNDING(O, r).
+class QueryGuard;  // common/guardrails.hpp
+
+/// PARALLEL-LOWER-BOUNDING(O, r). `guard` (optional) is polled on an
+/// amortised stride inside every worker; OpenMP regions cannot be broken,
+/// so tripped workers drain their remaining iterations at one relaxed
+/// load each (see common/guardrails.hpp).
 LowerBoundResult ParallelLowerBounding(const BiGrid& grid,
                                        LbStrategy strategy, int threads,
-                                       bool keep_bitsets);
+                                       bool keep_bitsets,
+                                       QueryGuard* guard = nullptr);
 
 /// PARALLEL-UPPER-BOUNDING(O, r, tau_low_max). Requires the BiGrid to have
-/// been built with point groups for the cost-based strategy.
+/// been built with point groups for the cost-based strategy. Guard
+/// semantics as above; a tripped scan yields a partial candidate queue.
 UpperBoundResult ParallelUpperBounding(BiGrid& grid, std::uint32_t threshold,
                                        UbStrategy strategy, int threads,
                                        const LabelSet* use_labels,
                                        LabelSet* record_labels,
-                                       QueryStats* stats);
+                                       QueryStats* stats,
+                                       QueryGuard* guard = nullptr);
 
 /// PARALLEL-VERIFICATION(O_cand, r). Candidates are still consumed
 /// best-first and serially (the early-termination check is inherently
-/// sequential); the per-candidate point scan is parallelised.
+/// sequential); the per-candidate point scan is parallelised. On a guard
+/// trip the in-flight candidate's partial score is discarded, so the
+/// returned list is a sound best-so-far answer.
 std::vector<ScoredObject> ParallelVerification(
     BiGrid& grid, const UpperBoundResult& ub, std::size_t k, int threads,
     const LabelSet* use_labels, LabelSet* record_labels,
     const std::vector<Ewah>* lb_bitsets, QueryStats* stats,
-    bool use_verify_bit = true);
+    bool use_verify_bit = true, QueryGuard* guard = nullptr);
 
 }  // namespace mio

@@ -9,6 +9,7 @@
 
 #include "bitset/bitset_stats.hpp"
 #include "common/memory_tracker.hpp"
+#include "common/status.hpp"
 #include "object/object.hpp"
 
 namespace mio {
@@ -57,6 +58,10 @@ struct QueryStats {
   /// True when the query adopted a cached large grid (reuse_grid mode).
   bool reused_grid = false;
 
+  /// Highest memory-budget degradation step applied (0 = none; 1 = label
+  /// recording shed, 2 = grid cache dropped, 3 = streaming verification).
+  std::uint8_t degradation_level = 0;
+
   /// Seconds each OpenMP worker spent scoring candidates (index = thread
   /// id inside the verification regions). Filled only by the parallel
   /// verifier; the min/max/imbalance summary checks the paper's
@@ -80,6 +85,15 @@ ThreadLoadReport ComputeThreadLoad(const std::vector<double>& seconds);
 struct QueryResult {
   std::vector<ScoredObject> topk;
   QueryStats stats;
+
+  /// OK for a normal run; kDeadlineExceeded / kResourceExhausted /
+  /// kCancelled when a guardrail stopped the query early.
+  Status status;
+
+  /// False when a guardrail tripped: `topk` then holds the best answer
+  /// found so far — exact scores for verified candidates, otherwise the
+  /// best lower bound — not the proven optimum.
+  bool complete = true;
 
   /// The most interactive object o* (precondition: non-empty dataset).
   const ScoredObject& best() const { return topk.front(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/guardrails.hpp"
 #include "obs/metrics.hpp"
 
 namespace mio {
@@ -17,7 +18,8 @@ void SortCandidates(const std::vector<std::uint32_t>& tau_upp,
 
 UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
                                const LabelSet* use_labels,
-                               LabelSet* record_labels, QueryStats* stats) {
+                               LabelSet* record_labels, QueryStats* stats,
+                               QueryGuard* guard) {
   const ObjectSet& objects = grid.objects();
   const std::size_t n = objects.size();
   const double large_width = grid.large_width();
@@ -27,6 +29,9 @@ UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
   res.candidates.reserve(n / 4 + 1);
 
   for (ObjectId i = 0; i < n; ++i) {
+    if (guard != nullptr && (i % kGuardStrideObjects) == 0 && guard->Poll()) {
+      break;  // partial candidate queue; usable only for best-so-far
+    }
     const Object& o = objects[i];
     Ewah acc;
     std::size_t acc_count = 0;

@@ -16,6 +16,8 @@
 
 namespace mio {
 
+class QueryGuard;  // common/guardrails.hpp
+
 /// Upper bounds plus the surviving candidate queue.
 struct UpperBoundResult {
   std::vector<std::uint32_t> tau_upp;
@@ -27,10 +29,14 @@ struct UpperBoundResult {
 /// Serial upper-bounding. `use_labels` (may be null) activates
 /// UPPER-BOUNDING-WITH-LABEL: points whose kUpper (or kMap) bit is cleared
 /// are skipped. `record_labels` (may be null) performs Labeling-1/2 as a
-/// side effect. `stats` (may be null) receives counter updates.
+/// side effect. `stats` (may be null) receives counter updates. `guard`
+/// (optional) is polled on an amortised stride; a trip abandons the scan
+/// (unvisited objects never enter the candidate queue, so the partial
+/// result is only usable for best-so-far reporting, not a final answer).
 UpperBoundResult UpperBounding(BiGrid& grid, std::uint32_t threshold,
                                const LabelSet* use_labels,
-                               LabelSet* record_labels, QueryStats* stats);
+                               LabelSet* record_labels, QueryStats* stats,
+                               QueryGuard* guard = nullptr);
 
 /// Sorts `candidates` by descending tau_upp, ties by ascending id.
 void SortCandidates(const std::vector<std::uint32_t>& tau_upp,

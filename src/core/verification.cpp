@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/guardrails.hpp"
 #include "geo/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -129,7 +130,7 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
 std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
                          LabelSet* record_labels, const Ewah* lb_bitset,
                          std::size_t* dist_comps, bool use_verify_bit,
-                         PlainBitset* b_scratch) {
+                         PlainBitset* b_scratch, QueryGuard* guard) {
   const Object& o = grid.objects()[i];
 
   // b(o_i): confirmed interaction partners (plus bit i). With labels it is
@@ -143,6 +144,9 @@ std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
   if (b_scratch == nullptr) b_scratch = &local_scratch;
 
   for (std::size_t j = 0; j < o.points.size(); ++j) {
+    if (guard != nullptr && (j % kGuardStridePoints) == 0 && guard->Poll()) {
+      break;  // partial score: the caller must discard it
+    }
     if (use_labels != nullptr) {
       std::uint8_t l = use_labels->Get(i, j);
       // VERIFICATION-WITH-LABEL iterates only points labelled 1*1. The
@@ -170,7 +174,8 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
                                        LabelSet* record_labels,
                                        const std::vector<Ewah>* lb_bitsets,
                                        QueryStats* stats,
-                                       bool use_verify_bit) {
+                                       bool use_verify_bit,
+                                       QueryGuard* guard) {
   TopKTracker tracker(k);
   PlainBitset b_scratch;  // reused across every verified point
   for (ObjectId i : ub.candidates) {
@@ -178,13 +183,15 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
     // upper bound, so once the front cannot beat the k-th best exact
     // score, neither can anything behind it.
     if (static_cast<long long>(ub.tau_upp[i]) <= tracker.Threshold()) break;
+    if (guard != nullptr && guard->Poll()) break;
     MIO_TRACE_SPAN_CAT("verify.candidate", "verify");
     const Ewah* lb =
         lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr;
     std::uint32_t score = ExactScore(
         grid, i, use_labels, record_labels, lb,
         stats != nullptr ? &stats->distance_computations : nullptr,
-        use_verify_bit, &b_scratch);
+        use_verify_bit, &b_scratch, guard);
+    if (guard != nullptr && guard->tripped()) break;  // partial: discard
     if (stats != nullptr) ++stats->num_verified;
     tracker.Offer(i, score);
   }

@@ -18,6 +18,8 @@
 
 namespace mio {
 
+class QueryGuard;  // common/guardrails.hpp
+
 /// Processes one point of object i during exact scoring: computes the
 /// unconfirmed-candidate set b = b_adj - acc, performs Labeling-3 when
 /// recording, and scans the 27-cell neighbourhood's postings, folding
@@ -38,14 +40,21 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
 /// seeds the accumulator with the lower-bound union; `dist_comps`
 /// accumulates distance evaluations. `b_scratch` (optional) is reused
 /// scratch for VerifyPoint's candidate set; pass one bitset across many
-/// ExactScore calls to keep verification allocation-free.
+/// ExactScore calls to keep verification allocation-free. `guard`
+/// (optional) is polled every kGuardStridePoints points; once tripped the
+/// scan stops and the returned score is PARTIAL (a valid lower bound of
+/// the true score, but not exact) — callers must discard it.
 std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
                          LabelSet* record_labels, const Ewah* lb_bitset,
                          std::size_t* dist_comps, bool use_verify_bit = true,
-                         PlainBitset* b_scratch = nullptr);
+                         PlainBitset* b_scratch = nullptr,
+                         QueryGuard* guard = nullptr);
 
 /// Best-first verification of the candidate queue; returns the top-k
-/// objects by exact score, descending.
+/// objects by exact score, descending. `guard` (optional): on a trip the
+/// in-flight candidate's partial score is discarded and the loop stops —
+/// scores already offered to the tracker stay exact, so the returned
+/// (possibly short) list is a sound best-so-far answer.
 std::vector<ScoredObject> Verification(BiGrid& grid,
                                        const UpperBoundResult& ub,
                                        std::size_t k,
@@ -53,7 +62,8 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
                                        LabelSet* record_labels,
                                        const std::vector<Ewah>* lb_bitsets,
                                        QueryStats* stats,
-                                       bool use_verify_bit = true);
+                                       bool use_verify_bit = true,
+                                       QueryGuard* guard = nullptr);
 
 /// Maintains the k best exact scores seen so far and the resulting
 /// termination threshold (shared by serial and parallel verification).

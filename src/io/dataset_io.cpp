@@ -1,11 +1,15 @@
 #include "io/dataset_io.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "common/fault_injection.hpp"
 
 namespace mio {
 namespace {
@@ -24,6 +28,12 @@ std::uint64_t Fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
 }
 
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+/// Upper bound on a single reserve() taken on faith from a declared count
+/// in a text file (which has no up-front size accounting like the binary
+/// format): larger declared counts still load, they just grow the vector
+/// incrementally instead of pre-reserving unbounded memory.
+constexpr std::size_t kMaxTrustedReserve = 1u << 20;
 
 }  // namespace
 
@@ -93,8 +103,8 @@ Result<ObjectSet> LoadDatasetText(const std::string& path) {
       return Status::Corruption("expected object header, got: " + line);
     }
     Object obj;
-    obj.points.reserve(num_points);
-    if (has_times) obj.times.reserve(num_points);
+    obj.points.reserve(std::min(num_points, kMaxTrustedReserve));
+    if (has_times) obj.times.reserve(std::min(num_points, kMaxTrustedReserve));
     for (std::size_t j = 0; j < num_points; ++j) {
       if (!next_content_line(&line)) {
         return Status::Corruption("truncated dataset (points)");
@@ -125,6 +135,7 @@ Status SaveDatasetBinary(const ObjectSet& objects, const std::string& path) {
 
   std::uint64_t checksum = kFnvOffset;
   auto write = [&](const void* data, std::size_t len) {
+    if (MIO_FAULT_HIT("io.dataset.write")) out.setstate(std::ios::failbit);
     out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
     checksum = Fnv1a(data, len, checksum);
   };
@@ -155,6 +166,14 @@ Status SaveDatasetBinary(const ObjectSet& objects, const std::string& path) {
 }
 
 Result<ObjectSet> LoadDatasetBinary(const std::string& path) {
+  // Stat the file up front: every declared count below is validated
+  // against the bytes actually present BEFORE any allocation sized by it,
+  // so a corrupt header cannot drive an unbounded resize.
+  std::error_code ec;
+  const std::uint64_t file_size =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path, ec));
+  if (ec) return Status::IOError("cannot stat: " + path);
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
 
@@ -164,12 +183,20 @@ Result<ObjectSet> LoadDatasetBinary(const std::string& path) {
     return Status::Corruption("bad magic in " + path);
   }
 
+  std::uint64_t consumed = 4;  // magic
   std::uint64_t checksum = kFnvOffset;
   auto read = [&](void* data, std::size_t len) -> bool {
+    if (MIO_FAULT_HIT("io.dataset.read")) return false;  // simulated EIO
     in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
     if (!in) return false;
+    consumed += len;
     checksum = Fnv1a(data, len, checksum);
     return true;
+  };
+  // Payload bytes left before the 8-byte checksum trailer.
+  auto remaining = [&]() -> std::uint64_t {
+    const std::uint64_t used = consumed + sizeof(std::uint64_t);
+    return file_size > used ? file_size - used : 0;
   };
 
   std::uint32_t version = 0;
@@ -181,12 +208,24 @@ Result<ObjectSet> LoadDatasetBinary(const std::string& path) {
   if (!read(&n, sizeof(n)) || !read(&has_times, sizeof(has_times))) {
     return Status::Corruption("truncated header in " + path);
   }
+  // Each object costs at least its 8-byte point-count header.
+  if (n > remaining() / sizeof(std::uint64_t)) {
+    return Status::Corruption("declared object count " + std::to_string(n) +
+                              " exceeds file size in " + path);
+  }
 
+  const std::uint64_t bytes_per_point =
+      sizeof(Point) + (has_times ? sizeof(double) : 0);
   ObjectSet set;
   for (std::uint64_t i = 0; i < n; ++i) {
     std::uint64_t num_points = 0;
     if (!read(&num_points, sizeof(num_points))) {
       return Status::Corruption("truncated object header in " + path);
+    }
+    if (num_points > remaining() / bytes_per_point) {
+      return Status::Corruption(
+          "declared point count " + std::to_string(num_points) +
+          " exceeds remaining file size in " + path);
     }
     Object obj;
     obj.points.resize(num_points);
@@ -203,7 +242,8 @@ Result<ObjectSet> LoadDatasetBinary(const std::string& path) {
   }
   std::uint64_t stored = 0;
   in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!in || stored != checksum) {
+  if (!in) return Status::Corruption("truncated checksum trailer in " + path);
+  if (stored != checksum) {
     return Status::Corruption("checksum mismatch in " + path);
   }
   return set;

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/fault_injection.hpp"
+
 namespace mio {
 
 // ---------------------------------------------------------------------------
@@ -15,7 +17,9 @@ namespace mio {
 
 Result<Object> LoadSwcFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open SWC file: " + path);
+  if (!in || MIO_FAULT_HIT("io.import.open")) {
+    return Status::IOError("cannot open SWC file: " + path);
+  }
 
   Object obj;
   std::string line;
@@ -87,7 +91,9 @@ std::vector<std::string> SplitLine(const std::string& line, char delim) {
 Result<ObjectSet> LoadTrajectoryCsv(const std::string& path,
                                     const TrajectoryCsvOptions& options) {
   std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open CSV file: " + path);
+  if (!in || MIO_FAULT_HIT("io.import.open")) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
 
   std::string line;
   if (!std::getline(in, line)) return Status::Corruption("empty CSV: " + path);

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injection.hpp"
+
 namespace mio {
 namespace {
 
@@ -45,6 +47,7 @@ Status LabelStore::Save(int ceil_r, const LabelSet& labels) {
 
   std::uint64_t checksum = kFnvOffset;
   auto write = [&](const void* data, std::size_t len) {
+    if (MIO_FAULT_HIT("io.label.write")) out.setstate(std::ios::failbit);
     out.write(static_cast<const char*>(data),
               static_cast<std::streamsize>(len));
     checksum = Fnv1a(data, len, checksum);
@@ -83,6 +86,7 @@ Result<LabelSet> LabelStore::Load(int ceil_r,
 
   std::uint64_t checksum = kFnvOffset;
   auto read = [&](void* data, std::size_t len) -> bool {
+    if (MIO_FAULT_HIT("io.label.read")) return false;  // simulated short read
     in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
     if (!in) return false;
     checksum = Fnv1a(data, len, checksum);
@@ -126,6 +130,11 @@ Result<LabelSet> LabelStore::Load(int ceil_r,
     return Status::Corruption("checksum mismatch in " + path);
   }
   return set;
+}
+
+void LabelStore::Remove(int ceil_r) {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(ceil_r), ec);
 }
 
 void LabelStore::Clear() {

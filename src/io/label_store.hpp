@@ -32,6 +32,10 @@ class LabelStore {
   /// per-object point counts must match exactly).
   Result<LabelSet> Load(int ceil_r, const ObjectSet& expected_shape) const;
 
+  /// Removes the label file for one ceil(r) (no-op if absent). The engine
+  /// uses this to evict a corrupt file so the next query rewrites it.
+  void Remove(int ceil_r);
+
   /// Removes every stored label file.
   void Clear();
 

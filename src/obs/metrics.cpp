@@ -89,6 +89,16 @@ const char* CounterName(Counter c) {
       return "verify_points";
     case Counter::kVerifyPointsSettled:
       return "verify_points_settled";
+    case Counter::kFaultsInjected:
+      return "faults.injected";
+    case Counter::kQueryDeadlineExceeded:
+      return "query.deadline_exceeded";
+    case Counter::kQueryCancelled:
+      return "query.cancelled";
+    case Counter::kQueryDegraded:
+      return "query.degraded";
+    case Counter::kLabelsCorruptRecovered:
+      return "labels.corrupt_recovered";
     case Counter::kCount_:
       break;
   }

@@ -31,6 +31,11 @@ enum class Counter : int {
   kVerifyPoints,         ///< points exactly verified
   kVerifyPointsSettled,  ///< verified points whose neighbourhood was
                          ///< already fully confirmed (no posting scan)
+  kFaultsInjected,        ///< fault-injection sites that fired
+  kQueryDeadlineExceeded, ///< queries stopped by their deadline
+  kQueryCancelled,        ///< queries stopped by a cancel token
+  kQueryDegraded,         ///< queries that shed work under memory budget
+  kLabelsCorruptRecovered,  ///< corrupt label files recovered as cache miss
   kCount_
 };
 

@@ -123,8 +123,13 @@ const char* GitDescribe() {
 #endif
 }
 
-std::string StatsJson(const QueryStats& stats, const RunInfo& info,
-                      const MetricsSnapshot* metrics) {
+namespace {
+
+// Shared body of both StatsJson overloads; `result` (nullable) adds the
+// guardrail outcome section.
+std::string StatsJsonImpl(const QueryStats& stats, const RunInfo& info,
+                          const MetricsSnapshot* metrics,
+                          const QueryResult* result) {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("mio-stats-v1");
@@ -143,6 +148,16 @@ std::string StatsJson(const QueryStats& stats, const RunInfo& info,
   if (info.wall_seconds > 0.0) w.Key("wall_seconds").Double(info.wall_seconds);
   w.Key("threads_used").Int(stats.threads);
   w.Key("reused_grid").Bool(stats.reused_grid);
+  if (result != nullptr) {
+    w.Key("outcome").BeginObject();
+    w.Key("status").String(StatusCodeName(result->status.code()));
+    if (!result->status.ok()) {
+      w.Key("message").String(result->status.message());
+    }
+    w.Key("complete").Bool(result->complete);
+    w.Key("degradation_level").UInt(stats.degradation_level);
+    w.EndObject();
+  }
   WritePhases(w, stats.phases);
   WriteCounters(w, stats);
   WriteLoadBalance(w, stats);
@@ -151,6 +166,18 @@ std::string StatsJson(const QueryStats& stats, const RunInfo& info,
   if (metrics != nullptr && !metrics->Empty()) WriteMetrics(w, *metrics);
   w.EndObject();
   return std::move(w).Take();
+}
+
+}  // namespace
+
+std::string StatsJson(const QueryStats& stats, const RunInfo& info,
+                      const MetricsSnapshot* metrics) {
+  return StatsJsonImpl(stats, info, metrics, nullptr);
+}
+
+std::string StatsJson(const QueryResult& result, const RunInfo& info,
+                      const MetricsSnapshot* metrics) {
+  return StatsJsonImpl(result.stats, info, metrics, &result);
 }
 
 Status WriteTextFile(const std::string& path, const std::string& contents) {

@@ -38,6 +38,12 @@ const char* GitDescribe();
 std::string StatsJson(const QueryStats& stats, const RunInfo& info,
                       const MetricsSnapshot* metrics = nullptr);
 
+/// As above, from a whole QueryResult: adds an "outcome" object with the
+/// query Status, the `complete` flag, and the degradation level, so
+/// incomplete or degraded runs are machine-detectable.
+std::string StatsJson(const QueryResult& result, const RunInfo& info,
+                      const MetricsSnapshot* metrics = nullptr);
+
 /// Writes `contents` to `path` ("-" writes to stdout).
 Status WriteTextFile(const std::string& path, const std::string& contents);
 
