@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Profiling gate: builds the CLI with PMU support ON and OFF, smoke-runs
+# `mio profile` on a synthetic dataset, and asserts
+#  - the report is a valid mio-profile-v1 document in both builds;
+#  - MIO_PMU=off forces the timing tier (fallback marker present, no
+#    hardware event fields beyond task_clock_ns);
+#  - the PMU-disabled build reports the timing tier unconditionally;
+#  - `mio explain` runs clean and prints the pruning funnel.
+# On hosts without a hardware PMU (most VMs) the PMU-ON build also lands
+# on the timing tier — that degradation is exactly what this gate checks.
+# Usage: scripts/check_profile.sh [build-dir-prefix]
+set -eu
+
+PREFIX=${1:-build-profile}
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+build_cli() { # build_cli <dir> <extra cmake flags...>
+  local dir=$1; shift
+  cmake -B "$dir" -S "$SRC" -DCMAKE_BUILD_TYPE=Release \
+    -DMIO_BUILD_BENCHMARKS=OFF -DMIO_BUILD_EXAMPLES=OFF -DMIO_BUILD_TESTS=OFF \
+    "$@" > "$dir.cmake.log" 2>&1 || { cat "$dir.cmake.log"; exit 1; }
+  cmake --build "$dir" --target mio_cli -j "$JOBS" \
+    > "$dir.build.log" 2>&1 || { tail -50 "$dir.build.log"; exit 1; }
+}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# `python3 -c` validates schema + structural invariants of one report.
+check_report() { # check_report <file> <label> <expect-timing: 0|1>
+  python3 - "$1" "$2" "$3" <<'PYEOF'
+import json, sys
+path, label, expect_timing = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+doc = json.load(open(path))
+def fail(msg):
+    sys.exit(f"FAILED [{label}]: {msg}\n{json.dumps(doc, indent=1)[:800]}")
+if doc.get("schema") != "mio-profile-v1":
+    fail(f"schema = {doc.get('schema')!r}")
+for key in ("git", "dataset", "algo", "params", "kernel_tier", "pmu_tier",
+            "wall_seconds", "phases", "hardware"):
+    if key not in doc:
+        fail(f"missing key {key!r}")
+if doc["wall_seconds"]["median"] <= 0:
+    fail("non-positive wall_seconds.median")
+if doc["phases"]["total"] <= 0:
+    fail("non-positive phases.total")
+tier = doc["pmu_tier"]
+if expect_timing and tier != "timing":
+    fail(f"expected timing tier, got {tier!r}")
+if tier == "timing":
+    if doc.get("fallback") != "timing":
+        fail("timing tier must carry the fallback marker")
+    for phase, counts in doc["hardware"]["phases"].items():
+        extra = set(counts) - {"task_clock_ns"}
+        if extra:
+            fail(f"timing tier leaked hardware fields in {phase}: {extra}")
+else:
+    if "fallback" in doc:
+        fail("hardware tier must not carry the fallback marker")
+    total = doc["hardware"]["phases"].get("total", {})
+    if total.get("cycles", 0) <= 0:
+        fail("hardware tier reported no cycles")
+    if "derived" not in doc["hardware"]:
+        fail("hardware tier missing derived rates")
+print(f"  [{label}] ok: pmu_tier={tier}")
+PYEOF
+}
+
+echo "== build: PMU support ON =="
+build_cli "$PREFIX-on"
+CLI_ON="$PREFIX-on/tools/mio"
+
+echo "== build: PMU support OFF (-DMIO_PMU_SUPPORT=OFF) =="
+build_cli "$PREFIX-off" -DMIO_PMU_SUPPORT=OFF
+CLI_OFF="$PREFIX-off/tools/mio"
+
+"$CLI_ON" generate --preset=bird2 --scale=quick --seed=11 \
+  --out="$WORK/data.bin" > /dev/null
+
+echo "== mio profile: PMU-ON build, host default =="
+"$CLI_ON" profile --in="$WORK/data.bin" --r=3 --warmup=1 --runs=3 \
+  --out="$WORK/on.json" > /dev/null
+check_report "$WORK/on.json" "pmu-on/default" 0
+
+echo "== mio profile: PMU-ON build, MIO_PMU=off fallback =="
+MIO_PMU=off "$CLI_ON" profile --in="$WORK/data.bin" --r=3 --warmup=0 \
+  --runs=2 --out="$WORK/forced.json" > /dev/null
+check_report "$WORK/forced.json" "pmu-on/MIO_PMU=off" 1
+
+echo "== mio profile: PMU-OFF build =="
+"$CLI_OFF" profile --in="$WORK/data.bin" --r=3 --warmup=0 --runs=2 \
+  --out="$WORK/off.json" > /dev/null
+check_report "$WORK/off.json" "pmu-off-build" 1
+
+echo "== mio explain smoke =="
+"$CLI_ON" explain --in="$WORK/data.bin" --r=3 > "$WORK/explain.txt"
+grep -q "pruning funnel" "$WORK/explain.txt" \
+  || { echo "FAILED: explain output missing funnel"; cat "$WORK/explain.txt"; exit 1; }
+grep -q "ub-survivors" "$WORK/explain.txt" \
+  || { echo "FAILED: explain output missing ub-survivors"; exit 1; }
+
+echo "check_profile: all passes clean"

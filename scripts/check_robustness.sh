@@ -83,3 +83,9 @@ for seed in 1 2 3 4 5 6 7 8; do
 done
 
 echo "check_robustness: all passes clean"
+
+# The profiling gate (PMU tiers, mio profile/explain) rides along unless
+# explicitly skipped.
+if [ "${MIO_SKIP_PROFILE:-0}" != "1" ]; then
+  "$SRC/scripts/check_profile.sh" "$PREFIX-profile"
+fi

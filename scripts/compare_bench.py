@@ -3,9 +3,13 @@
 
 Records (JSONL, one mio-stats-v1 document per line — the output of
 scripts/run_benches.sh, `--json-out`, or `mio query --stats-json`) are
-matched by (bench, dataset, algo, r, k, threads, scale). For each pair
-the total time is compared; slowdowns beyond the threshold are reported
-and make the script exit non-zero.
+matched by (bench, dataset, algo, r, k, threads, scale). A leading
+`mio-bench-header-v1` machine-identity line (run_benches.sh writes one)
+is skipped. A configuration repeated within one file (run_benches.sh
+repeats each harness for exactly this reason) is reduced to the median
+of the compared metric, so a single noisy run cannot fake a regression.
+For each matched pair the metric is compared; slowdowns beyond the
+threshold are reported and make the script exit non-zero.
 
 Usage:
   scripts/compare_bench.py BASELINE.json CANDIDATE.json [--threshold=0.10]
@@ -14,12 +18,15 @@ Usage:
 
 import argparse
 import json
+import statistics
 import sys
+
+SKIPPED_SCHEMAS = {"mio-bench-header-v1", "mio-profile-v1"}
 
 
 def load_records(path):
+    """Returns {config key: [doc, ...]} — every run of each configuration."""
     records = {}
-    dupes = 0
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -29,9 +36,12 @@ def load_records(path):
                 doc = json.loads(line)
             except json.JSONDecodeError as e:
                 sys.exit(f"{path}:{lineno}: not valid JSON: {e}")
-            if doc.get("schema") != "mio-stats-v1":
+            schema = doc.get("schema")
+            if schema in SKIPPED_SCHEMAS:
+                continue
+            if schema != "mio-stats-v1":
                 sys.exit(f"{path}:{lineno}: unexpected schema "
-                         f"{doc.get('schema')!r} (want 'mio-stats-v1')")
+                         f"{schema!r} (want 'mio-stats-v1')")
             params = doc.get("params", {})
             key = (
                 doc.get("bench", ""),
@@ -42,18 +52,14 @@ def load_records(path):
                 params.get("threads", 1),
                 params.get("scale", ""),
             )
-            if key in records:
-                dupes += 1  # keep the last run of a repeated configuration
-            records[key] = doc
-    if dupes:
-        print(f"note: {path} repeats {dupes} configuration(s); "
-              "using the last occurrence of each", file=sys.stderr)
+            records.setdefault(key, []).append(doc)
     return records
 
 
 def metric_value(doc, metric):
     if metric in doc:
-        return doc[metric]
+        value = doc[metric]
+        return value if isinstance(value, (int, float)) else None
     # Dotted paths reach nested sections, e.g. phases.verification or
     # counters.distance_computations.
     node = doc
@@ -62,6 +68,13 @@ def metric_value(doc, metric):
             return None
         node = node[part]
     return node if isinstance(node, (int, float)) else None
+
+
+def median_metric(docs, metric):
+    """Median of the metric over a configuration's repeated runs."""
+    values = [v for v in (metric_value(d, metric) for d in docs)
+              if v is not None]
+    return statistics.median(values) if values else None
 
 
 def key_str(key):
@@ -98,8 +111,8 @@ def main():
     improvements = 0
     skipped = 0
     for key in common:
-        b = metric_value(base[key], args.metric)
-        c = metric_value(cand[key], args.metric)
+        b = median_metric(base[key], args.metric)
+        c = median_metric(cand[key], args.metric)
         if b is None or c is None:
             skipped += 1
             continue

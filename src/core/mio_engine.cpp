@@ -12,6 +12,7 @@
 #include "core/upper_bound.hpp"
 #include "core/verification.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 
 namespace mio {
@@ -98,6 +99,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   const bool parallel = threads > 1;
   QueryStats& stats = res.stats;
   stats.threads = threads;
+  stats.total_points = objects_.Stats().nm;
 
   QueryGuard guard;
   guard.SetDeadline(options.deadline_ms);
@@ -110,6 +112,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   const LabelSet* use_labels = nullptr;
   if (options.use_labels) {
     MIO_TRACE_SPAN_CAT("label_input", "query");
+    obs::PmuPhaseScope pmu(&stats.hardware.label_input);
     use_labels = LookupLabels(ceil_r, &stats.phases.label_input);
   }
   LabelSet recorded;
@@ -138,6 +141,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   {
     MIO_TRACE_SPAN_CAT("grid_mapping", "query");
     ScopedAccumulator acc(&stats.phases.grid_mapping);
+    obs::PmuPhaseScope pmu(&stats.hardware.grid_mapping);
     if (parallel) {
       grid.BuildParallel(threads, use_labels, /*build_groups=*/true, &guard);
     } else {
@@ -203,8 +207,9 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   if (!guard.tripped()) {
     MIO_TRACE_SPAN_CAT("lower_bounding", "query");
     ScopedAccumulator acc(&stats.phases.lower_bounding);
+    obs::PmuPhaseScope pmu(&stats.hardware.lower_bounding);
     lb = parallel ? ParallelLowerBounding(grid, options.lb_strategy, threads,
-                                          keep_lb_bitsets, &guard)
+                                          keep_lb_bitsets, &stats, &guard)
                   : LowerBounding(grid, keep_lb_bitsets, &guard);
   }
   std::uint32_t threshold = k == 1 ? lb.tau_low_max : lb.KthLargest(k);
@@ -215,6 +220,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   if (!guard.tripped()) {
     MIO_TRACE_SPAN_CAT("upper_bounding", "query");
     ScopedAccumulator acc(&stats.phases.upper_bounding);
+    obs::PmuPhaseScope pmu(&stats.hardware.upper_bounding);
     ub = parallel
              ? ParallelUpperBounding(grid, threshold, options.ub_strategy,
                                      threads, use_labels, record_labels,
@@ -227,6 +233,7 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   if (!guard.tripped()) {
     MIO_TRACE_SPAN_CAT("verification", "query");
     ScopedAccumulator acc(&stats.phases.verification);
+    obs::PmuPhaseScope pmu(&stats.hardware.verification);
     const std::vector<Ewah>* lb_bits =
         keep_lb_bitsets ? &lb.lb_bitsets : nullptr;
     res.topk =

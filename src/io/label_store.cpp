@@ -1,11 +1,15 @@
 #include "io/label_store.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <random>
+#include <thread>
 
 #include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
 
 namespace mio {
 namespace {
@@ -13,6 +17,29 @@ namespace {
 constexpr char kMagic[4] = {'M', 'I', 'O', 'L'};
 constexpr std::uint32_t kVersion = 2;
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+// Label IO shares disks with other tenants, so a failed read/write is
+// retried a bounded number of times with exponential backoff. The jitter
+// decorrelates concurrent retriers (each query process backs off on its
+// own clock-seeded stream).
+constexpr int kIoAttempts = 3;
+constexpr auto kBackoffBase = std::chrono::milliseconds(1);
+
+void BackoffSleep(int attempt) {
+  thread_local std::minstd_rand rng(static_cast<std::uint32_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  auto base = kBackoffBase * (1 << attempt);
+  std::uniform_int_distribution<std::int64_t> jitter(0, base.count());
+  std::this_thread::sleep_for(base + std::chrono::milliseconds(jitter(rng)));
+}
+
+/// True for failures worth retrying: transient IO errors and short reads
+/// (which surface as Corruption). NotFound is definitive — no file will
+/// appear by waiting.
+bool Retryable(const Status& s) {
+  return s.code() == StatusCode::kIOError ||
+         s.code() == StatusCode::kCorruption;
+}
 
 std::uint64_t Fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
@@ -40,7 +67,7 @@ bool LabelStore::Has(int ceil_r) const {
   return std::filesystem::exists(PathFor(ceil_r), ec);
 }
 
-Status LabelStore::Save(int ceil_r, const LabelSet& labels) {
+Status LabelStore::SaveOnce(int ceil_r, const LabelSet& labels) {
   std::string path = PathFor(ceil_r);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for write: " + path);
@@ -72,8 +99,8 @@ Status LabelStore::Save(int ceil_r, const LabelSet& labels) {
   return Status::OK();
 }
 
-Result<LabelSet> LabelStore::Load(int ceil_r,
-                                  const ObjectSet& expected_shape) const {
+Result<LabelSet> LabelStore::LoadOnce(int ceil_r,
+                                      const ObjectSet& expected_shape) const {
   std::string path = PathFor(ceil_r);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("no label file: " + path);
@@ -130,6 +157,33 @@ Result<LabelSet> LabelStore::Load(int ceil_r,
     return Status::Corruption("checksum mismatch in " + path);
   }
   return set;
+}
+
+Status LabelStore::Save(int ceil_r, const LabelSet& labels) {
+  Status s = SaveOnce(ceil_r, labels);
+  for (int attempt = 0; Retryable(s) && attempt < kIoAttempts - 1; ++attempt) {
+    obs::Add(obs::Counter::kLabelRetryAttempts);
+    BackoffSleep(attempt);
+    s = SaveOnce(ceil_r, labels);
+  }
+  if (Retryable(s)) obs::Add(obs::Counter::kLabelRetryExhausted);
+  return s;
+}
+
+Result<LabelSet> LabelStore::Load(int ceil_r,
+                                  const ObjectSet& expected_shape) const {
+  Result<LabelSet> r = LoadOnce(ceil_r, expected_shape);
+  for (int attempt = 0;
+       !r.ok() && Retryable(r.status()) && attempt < kIoAttempts - 1;
+       ++attempt) {
+    obs::Add(obs::Counter::kLabelRetryAttempts);
+    BackoffSleep(attempt);
+    r = LoadOnce(ceil_r, expected_shape);
+  }
+  if (!r.ok() && Retryable(r.status())) {
+    obs::Add(obs::Counter::kLabelRetryExhausted);
+  }
+  return r;
 }
 
 void LabelStore::Remove(int ceil_r) {

@@ -26,10 +26,17 @@ class LabelStore {
   /// True if a label file for this ceil(r) exists.
   bool Has(int ceil_r) const;
 
+  /// Writes the label file. Transient failures (IO errors, short writes)
+  /// are retried up to two more times with jittered exponential backoff;
+  /// each re-attempt bumps the `labels.retry_attempts` counter, and a run
+  /// that never succeeds bumps `labels.retry_exhausted`.
   Status Save(int ceil_r, const LabelSet& labels);
 
   /// Loads and validates against the dataset shape (object count and
-  /// per-object point counts must match exactly).
+  /// per-object point counts must match exactly). Retries IO errors and
+  /// corruption (a short read is indistinguishable from a concurrent
+  /// writer) with the same bounded backoff as Save; NotFound is returned
+  /// immediately.
   Result<LabelSet> Load(int ceil_r, const ObjectSet& expected_shape) const;
 
   /// Removes the label file for one ceil(r) (no-op if absent). The engine
@@ -43,6 +50,9 @@ class LabelStore {
   const std::string& dir() const { return dir_; }
 
  private:
+  Status SaveOnce(int ceil_r, const LabelSet& labels);
+  Result<LabelSet> LoadOnce(int ceil_r, const ObjectSet& expected_shape) const;
+
   std::string dir_;
 };
 

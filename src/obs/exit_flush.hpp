@@ -1,0 +1,48 @@
+// Exit-time observability flush: a backstop so `--trace-out` and
+// `--stats-json` still produce valid, truncation-marked documents when
+// the process leaves through an abnormal path (SIGINT/SIGTERM mid-query,
+// a library std::exit, an unwound fatal error) instead of the normal
+// emission at the end of the command.
+//
+// Protocol: the CLI arms the flusher with the output paths (and a
+// pre-rendered minimal stats document) before running the query, and
+// disarms it after the normal emission succeeds. If the process exits
+// while armed:
+//  - atexit: the trace ring is exported with a top-level
+//    `"truncated": true` marker and the fallback stats document is
+//    written — both full-fidelity, since atexit runs on a normal stack;
+//  - SIGINT/SIGTERM: only the pre-rendered stats document is written
+//    (open/write/close are async-signal-safe; JSON rendering is not),
+//    then the signal is re-raised with default disposition so the exit
+//    status stays honest.
+#pragma once
+
+#include <string>
+
+namespace mio {
+namespace obs {
+
+struct ExitFlushConfig {
+  std::string trace_path;  ///< "" = no trace flush
+  std::string stats_path;  ///< "" = no stats flush ("-" writes stderr-safe fd 1)
+  /// Complete JSON document written verbatim as the stats fallback. Must
+  /// already carry its truncation marker (`"truncated": true`).
+  std::string stats_document;
+};
+
+/// Arms (or re-arms) the flush; installs the atexit hook and the
+/// SIGINT/SIGTERM handlers on first use.
+void ArmExitFlush(ExitFlushConfig cfg);
+
+/// Disarms after a successful normal emission; the exit hook becomes a
+/// no-op. Signal handlers stay installed but do nothing while disarmed.
+void DisarmExitFlush();
+
+bool ExitFlushArmed();
+
+/// Performs the armed flush immediately and disarms (idempotent). This is
+/// the atexit path, exposed so tests can drive it without exiting.
+void FlushObservabilityNow();
+
+}  // namespace obs
+}  // namespace mio

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -35,6 +36,38 @@ MetricShard* RegisterShard() {
 }
 
 }  // namespace detail
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min);
+  if (p >= 1.0) return static_cast<double>(max);
+  // Rank of the requested quantile, 1-based: the smallest value v such
+  // that at least `target` observations are <= v.
+  double target = p * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= target) {
+      if (b == 0) return 0.0;  // bucket 0 holds exactly the value 0
+      double low = static_cast<double>(std::uint64_t{1} << (b - 1));
+      // The top bucket is clamped (absorbs values >= 2^(kBuckets-1));
+      // bound it by the tracked max instead of its nominal power of two.
+      double high = b == kBuckets - 1
+                        ? static_cast<double>(max) + 1.0
+                        : static_cast<double>(std::uint64_t{1} << b);
+      if (high < low + 1.0) high = low + 1.0;
+      double fraction = (target - static_cast<double>(cum)) /
+                        static_cast<double>(n);
+      double v = low + fraction * (high - low);
+      // Interpolation cannot leave the observed range.
+      v = std::max(v, static_cast<double>(min));
+      return std::min(v, static_cast<double>(max));
+    }
+    cum += n;
+  }
+  return static_cast<double>(max);
+}
 
 void SetMetricsEnabled(bool on) {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
@@ -99,6 +132,10 @@ const char* CounterName(Counter c) {
       return "query.degraded";
     case Counter::kLabelsCorruptRecovered:
       return "labels.corrupt_recovered";
+    case Counter::kLabelRetryAttempts:
+      return "labels.retry_attempts";
+    case Counter::kLabelRetryExhausted:
+      return "labels.retry_exhausted";
     case Counter::kCount_:
       break;
   }

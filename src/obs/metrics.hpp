@@ -36,6 +36,8 @@ enum class Counter : int {
   kQueryCancelled,        ///< queries stopped by a cancel token
   kQueryDegraded,         ///< queries that shed work under memory budget
   kLabelsCorruptRecovered,  ///< corrupt label files recovered as cache miss
+  kLabelRetryAttempts,      ///< label-store save/load retries performed
+  kLabelRetryExhausted,     ///< label-store ops that failed every attempt
   kCount_
 };
 
@@ -71,6 +73,11 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimated p-quantile (p in [0,1]) by linear interpolation inside the
+  /// target log2 bucket's value range ([0,1) for bucket 0, [2^(b-1), 2^b)
+  /// for b >= 1). Exact at bucket boundaries; 0 when empty.
+  double Percentile(double p) const;
 };
 
 /// Snapshot of every counter and histogram, merged across thread shards.

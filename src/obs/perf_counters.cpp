@@ -1,0 +1,248 @@
+#include "obs/perf_counters.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__) && !defined(MIO_PMU_DISABLED)
+#define MIO_PMU_HAVE_SYSCALL 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mio {
+namespace obs {
+
+namespace {
+
+std::uint64_t MonotonicNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Tier resolution state: kUnresolved until the first ActivePmuTier()
+// call; afterwards holds a PmuTier value. Resolution is idempotent, so a
+// rare double-resolve race is harmless.
+constexpr int kUnresolved = -1;
+std::atomic<int> g_tier{kUnresolved};
+
+#if MIO_PMU_HAVE_SYSCALL
+
+/// The hardware events of the group, in PmuEvent order.
+constexpr std::uint64_t kHwConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES};
+constexpr int kNumHwEvents = 5;
+
+int OpenPerfEvent(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  // Kernel/hypervisor cycles are not ours to optimise, and excluding
+  // them keeps the counters usable at perf_event_paranoid=2.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+/// Per-thread counter group. Owned by the thread (fds are closed when the
+/// thread exits); reads are plain read(2) on the group leader.
+struct PmuThreadContext {
+  int leader_fd = -1;
+  int sibling_fds[kNumHwEvents - 1] = {-1, -1, -1, -1};
+  bool open_attempted = false;
+
+  bool Open() {
+    open_attempted = true;
+    leader_fd = OpenPerfEvent(kHwConfigs[0], -1);
+    if (leader_fd < 0) return false;
+    for (int i = 1; i < kNumHwEvents; ++i) {
+      int fd = OpenPerfEvent(kHwConfigs[i], leader_fd);
+      if (fd < 0) {
+        Close();
+        return false;
+      }
+      sibling_fds[i - 1] = fd;
+    }
+    ioctl(leader_fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+
+  void Close() {
+    for (int& fd : sibling_fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    if (leader_fd >= 0) close(leader_fd);
+    leader_fd = -1;
+  }
+
+  ~PmuThreadContext() { Close(); }
+};
+
+thread_local PmuThreadContext tl_pmu;
+
+/// Group read layout: nr, time_enabled, time_running, value[nr].
+bool ReadGroup(PmuCounts* out) {
+  PmuThreadContext& ctx = tl_pmu;
+  if (!ctx.open_attempted && !ctx.Open()) return false;
+  if (ctx.leader_fd < 0) return false;
+  std::uint64_t buf[3 + kNumHwEvents];
+  ssize_t n = read(ctx.leader_fd, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf)) || buf[0] != kNumHwEvents) {
+    return false;
+  }
+  const std::uint64_t enabled = buf[1], running = buf[2];
+  // Multiplexing compensation: with other perf users on the core, the
+  // group only counts while scheduled; scale to the enabled window.
+  const double scale =
+      running > 0 && running < enabled
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  for (int i = 0; i < kNumHwEvents; ++i) {
+    out->v[static_cast<std::size_t>(i)] =
+        static_cast<std::uint64_t>(static_cast<double>(buf[3 + i]) * scale);
+  }
+  return true;
+}
+
+/// One-time probe on the calling thread: can a full group be opened?
+bool ProbeHardware() {
+  PmuThreadContext probe;
+  bool ok = probe.Open();
+  // The destructor closes the probe fds; the thread re-opens its own
+  // context lazily on the first real read.
+  return ok;
+}
+
+#else  // !MIO_PMU_HAVE_SYSCALL
+
+bool ReadGroup(PmuCounts*) { return false; }
+bool ProbeHardware() { return false; }
+
+#endif
+
+PmuTier ResolveTier() {
+  if (PmuEnvDisables(std::getenv("MIO_PMU"))) return PmuTier::kTiming;
+  return ProbeHardware() ? PmuTier::kHardware : PmuTier::kTiming;
+}
+
+}  // namespace
+
+const char* PmuEventName(PmuEvent e) {
+  switch (e) {
+    case PmuEvent::kCycles:
+      return "cycles";
+    case PmuEvent::kInstructions:
+      return "instructions";
+    case PmuEvent::kCacheReferences:
+      return "cache_references";
+    case PmuEvent::kCacheMisses:
+      return "cache_misses";
+    case PmuEvent::kBranchMisses:
+      return "branch_misses";
+    case PmuEvent::kTaskClockNs:
+      return "task_clock_ns";
+    case PmuEvent::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+PmuCounts& PmuCounts::operator+=(const PmuCounts& o) {
+  for (int i = 0; i < kNumPmuEvents; ++i) {
+    v[static_cast<std::size_t>(i)] += o.v[static_cast<std::size_t>(i)];
+  }
+  valid = valid || o.valid;
+  return *this;
+}
+
+PmuCounts PmuCounts::DeltaSince(const PmuCounts& begin) const {
+  PmuCounts d;
+  for (int i = 0; i < kNumPmuEvents; ++i) {
+    std::size_t s = static_cast<std::size_t>(i);
+    d.v[s] = v[s] > begin.v[s] ? v[s] - begin.v[s] : 0;
+  }
+  d.valid = valid && begin.valid;
+  return d;
+}
+
+bool PmuCounts::Empty() const {
+  for (std::uint64_t x : v) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+double PmuCounts::Ipc() const {
+  std::uint64_t cycles = Get(PmuEvent::kCycles);
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(Get(PmuEvent::kInstructions)) /
+                           static_cast<double>(cycles);
+}
+
+double PmuCounts::CacheMissRate() const {
+  std::uint64_t refs = Get(PmuEvent::kCacheReferences);
+  return refs == 0 ? 0.0
+                   : static_cast<double>(Get(PmuEvent::kCacheMisses)) /
+                         static_cast<double>(refs);
+}
+
+double PmuCounts::BranchMissesPerKiloInstructions() const {
+  std::uint64_t ins = Get(PmuEvent::kInstructions);
+  return ins == 0 ? 0.0
+                  : 1000.0 * static_cast<double>(Get(PmuEvent::kBranchMisses)) /
+                        static_cast<double>(ins);
+}
+
+const char* PmuTierName(PmuTier t) {
+  return t == PmuTier::kHardware ? "hardware" : "timing";
+}
+
+PmuTier ActivePmuTier() {
+  int t = g_tier.load(std::memory_order_relaxed);
+  if (t == kUnresolved) {
+    t = static_cast<int>(ResolveTier());
+    int expected = kUnresolved;
+    if (!g_tier.compare_exchange_strong(expected, t,
+                                        std::memory_order_relaxed)) {
+      t = expected;  // another thread resolved (or a test forced) first
+    }
+  }
+  return static_cast<PmuTier>(t);
+}
+
+void ForcePmuTier(PmuTier t) {
+  g_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+bool PmuEnvDisables(const char* value) {
+  if (value == nullptr) return false;
+  return std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0 ||
+         std::strcmp(value, "false") == 0 || std::strcmp(value, "no") == 0 ||
+         std::strcmp(value, "timing") == 0;
+}
+
+PmuCounts ReadPmuCounts() {
+  PmuCounts c;
+  c.Set(PmuEvent::kTaskClockNs, MonotonicNs());
+  if (ActivePmuTier() == PmuTier::kHardware) {
+    c.valid = ReadGroup(&c);
+  }
+  return c;
+}
+
+}  // namespace obs
+}  // namespace mio

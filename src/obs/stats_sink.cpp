@@ -1,10 +1,13 @@
 #include "obs/stats_sink.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/memory_tracker.hpp"
 #include "geo/kernels.hpp"
 #include "obs/json.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace mio {
 namespace obs {
@@ -70,6 +73,54 @@ void WriteMemory(JsonWriter& w, const QueryStats& s) {
   w.EndObject();
 }
 
+void WritePmuCounts(JsonWriter& w, const char* key, const PmuCounts& c) {
+  if (c.Empty()) return;
+  w.Key(key).BeginObject();
+  for (int e = 0; e < kNumPmuEvents; ++e) {
+    PmuEvent pe = static_cast<PmuEvent>(e);
+    std::uint64_t v = c.Get(pe);
+    if (v == 0 && !c.valid) continue;  // timing tier: task_clock_ns only
+    w.Key(PmuEventName(pe)).UInt(v);
+  }
+  if (c.valid) {
+    w.Key("ipc").Double(c.Ipc());
+    w.Key("cache_miss_rate").Double(c.CacheMissRate());
+    w.Key("branch_misses_per_ki").Double(c.BranchMissesPerKiloInstructions());
+  }
+  w.EndObject();
+}
+
+void WriteHardware(JsonWriter& w, const QueryStats& s) {
+  PmuCounts total = s.hardware.Total();
+  if (total.Empty()) return;  // never sampled (baselines, compiled out)
+  w.Key("hardware").BeginObject();
+  w.Key("pmu_tier").String(PmuTierName(ActivePmuTier()));
+  w.Key("phases").BeginObject();
+  WritePmuCounts(w, "label_input", s.hardware.label_input);
+  WritePmuCounts(w, "grid_mapping", s.hardware.grid_mapping);
+  WritePmuCounts(w, "lower_bounding", s.hardware.lower_bounding);
+  WritePmuCounts(w, "upper_bounding", s.hardware.upper_bounding);
+  WritePmuCounts(w, "verification", s.hardware.verification);
+  WritePmuCounts(w, "total", total);
+  w.EndObject();
+  if (total.valid) {
+    w.Key("derived").BeginObject();
+    if (s.total_points > 0) {
+      w.Key("cycles_per_point")
+          .Double(static_cast<double>(total.Get(PmuEvent::kCycles)) /
+                  static_cast<double>(s.total_points));
+    }
+    if (s.num_verified > 0) {
+      w.Key("cycles_per_candidate")
+          .Double(static_cast<double>(
+                      s.hardware.verification.Get(PmuEvent::kCycles)) /
+                  static_cast<double>(s.num_verified));
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
 void WriteCompression(JsonWriter& w, const QueryStats& s) {
   if (s.compression.num_bitsets == 0) return;
   w.Key("compression").BeginObject();
@@ -99,6 +150,9 @@ void WriteMetrics(JsonWriter& w, const MetricsSnapshot& m) {
     w.Key("min").UInt(hist.min);
     w.Key("max").UInt(hist.max);
     w.Key("mean").Double(hist.Mean());
+    w.Key("p50").Double(hist.Percentile(0.50));
+    w.Key("p90").Double(hist.Percentile(0.90));
+    w.Key("p99").Double(hist.Percentile(0.99));
     // Sparse bucket map: "log2_bucket" -> count, upper bound 2^b exclusive.
     w.Key("log2_buckets").BeginObject();
     for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
@@ -159,6 +213,7 @@ std::string StatsJsonImpl(const QueryStats& stats, const RunInfo& info,
     w.EndObject();
   }
   WritePhases(w, stats.phases);
+  WriteHardware(w, stats);
   WriteCounters(w, stats);
   WriteLoadBalance(w, stats);
   WriteMemory(w, stats);
@@ -178,6 +233,24 @@ std::string StatsJson(const QueryStats& stats, const RunInfo& info,
 std::string StatsJson(const QueryResult& result, const RunInfo& info,
                       const MetricsSnapshot* metrics) {
   return StatsJsonImpl(result.stats, info, metrics, &result);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 1.0) return values.back();
+  // R-7 / numpy 'linear': rank h = p*(n-1) interpolated between the two
+  // surrounding order statistics.
+  double h = p * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  std::size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
+  double frac = h - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 0.5);
 }
 
 Status WriteTextFile(const std::string& path, const std::string& contents) {

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 #include "core/query_result.hpp"
@@ -46,6 +47,14 @@ std::string StatsJson(const QueryResult& result, const RunInfo& info,
 
 /// Writes `contents` to `path` ("-" writes to stdout).
 Status WriteTextFile(const std::string& path, const std::string& contents);
+
+/// The p-quantile (p in [0,1]) of `values` with linear interpolation
+/// between adjacent order statistics (the numpy/R-7 rule). Sorts a copy;
+/// 0 on empty input. Shared by `mio profile` and the bench summaries.
+double Percentile(std::vector<double> values, double p);
+
+/// Shorthand for Percentile(values, 0.5).
+double Median(std::vector<double> values);
 
 }  // namespace obs
 }  // namespace mio

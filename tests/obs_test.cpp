@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
 #include <string>
@@ -13,8 +15,10 @@
 
 #include "common/timer.hpp"
 #include "core/query_result.hpp"
+#include "obs/exit_flush.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/stats_sink.hpp"
 #include "obs/trace.hpp"
 
@@ -324,6 +328,330 @@ TEST(StatsSinkTest, OmitsMetricsWhenNull) {
   std::string error;
   ASSERT_TRUE(ValidateJson(doc, &error)) << error;
   EXPECT_EQ(doc.find("\"metrics\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges + percentile interpolation
+// ---------------------------------------------------------------------------
+
+TEST_F(MetricsTest, BucketOfEdgeValues) {
+  using detail::BucketOf;
+  EXPECT_EQ(BucketOf(0), 0);
+  EXPECT_EQ(BucketOf(1), 1);
+  // Powers of two open a new bucket; 2^k - 1 closes the previous one.
+  for (int k = 1; k < 39; ++k) {
+    EXPECT_EQ(BucketOf(std::uint64_t{1} << k), k + 1) << k;
+    EXPECT_EQ(BucketOf((std::uint64_t{1} << k) - 1), k) << k;
+  }
+  // Everything at or beyond 2^40 clamps into the top bucket.
+  EXPECT_EQ(BucketOf(std::uint64_t{1} << 40), HistogramSnapshot::kBuckets - 1);
+  EXPECT_EQ(BucketOf(UINT64_MAX), HistogramSnapshot::kBuckets - 1);
+}
+
+TEST_F(MetricsTest, HistogramPercentileEdges) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+
+  // All-zero observations: bucket 0 holds exactly the value 0.
+  for (int i = 0; i < 5; ++i) Observe(Histogram::kLbKeyListLen, 0);
+  HistogramSnapshot zeros = SnapshotMetrics()
+      .histograms[static_cast<int>(Histogram::kLbKeyListLen)];
+  EXPECT_DOUBLE_EQ(zeros.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.Percentile(0.99), 0.0);
+  ResetMetrics();
+
+  // A single observation is reported exactly regardless of p (the
+  // interpolated mid-bucket estimate is clamped to the observed range).
+  Observe(Histogram::kLbKeyListLen, 4);
+  HistogramSnapshot one = SnapshotMetrics()
+      .histograms[static_cast<int>(Histogram::kLbKeyListLen)];
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 4.0);
+  ResetMetrics();
+
+  // Top-bucket observations stay inside [min, max] even though the
+  // bucket's nominal range extends to 2^40 and beyond.
+  Observe(Histogram::kLbKeyListLen, UINT64_MAX);
+  Observe(Histogram::kLbKeyListLen, UINT64_MAX);
+  HistogramSnapshot top = SnapshotMetrics()
+      .histograms[static_cast<int>(Histogram::kLbKeyListLen)];
+  double p50 = top.Percentile(0.5);
+  EXPECT_GE(p50, static_cast<double>(top.min));
+  EXPECT_LE(p50, static_cast<double>(top.max));
+}
+
+TEST_F(MetricsTest, HistogramPercentileInterpolatesInsideBucket) {
+  // Values 1..7: bucket 1 <- {1}, bucket 2 <- {2,3}, bucket 3 <- {4..7}.
+  for (std::uint64_t v = 1; v <= 7; ++v) {
+    Observe(Histogram::kUbUnionBits, v);
+  }
+  HistogramSnapshot h = SnapshotMetrics()
+      .histograms[static_cast<int>(Histogram::kUbUnionBits)];
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);   // min
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 7.0);   // max
+  // target rank 3.5 lands in bucket 3 ([4,8)) with cum=3 below it:
+  // 4 + (3.5-3)/4 * (8-4) = 4.5.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 4.5);
+  // Percentiles are monotone in p.
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(StatsSinkTest, VectorPercentileInterpolation) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+  // R-7: h = p*(n-1); p=0.5 over 4 values interpolates halfway.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0, 30.0, 40.0, 50.0}, 0.9), 46.0);
+  // Unsorted input is handled (sorts a copy).
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(StatsSinkTest, HistogramJsonCarriesPercentiles) {
+  ResetMetrics();
+  for (std::uint64_t v = 1; v <= 7; ++v) Observe(Histogram::kKernelBatchSize, v);
+  MetricsSnapshot metrics = SnapshotMetrics();
+  QueryStats stats;
+  RunInfo info;
+  info.bench = "obs_test";
+  std::string doc = StatsJson(stats, info, &metrics);
+  std::string error;
+  ASSERT_TRUE(ValidateJson(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p90\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+  ResetMetrics();
+}
+
+// ---------------------------------------------------------------------------
+// PMU counters (obs/perf_counters.hpp)
+// ---------------------------------------------------------------------------
+
+/// Saves the resolved tier and forces the timing fallback for the test
+/// body, so assertions hold on both PMU and non-PMU hosts.
+class PmuTimingTierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = ActivePmuTier();
+    ForcePmuTier(PmuTier::kTiming);
+  }
+  void TearDown() override { ForcePmuTier(saved_); }
+  PmuTier saved_ = PmuTier::kTiming;
+};
+
+TEST(PmuCountsTest, EventNamesAreStable) {
+  EXPECT_STREQ(PmuEventName(PmuEvent::kCycles), "cycles");
+  EXPECT_STREQ(PmuEventName(PmuEvent::kInstructions), "instructions");
+  EXPECT_STREQ(PmuEventName(PmuEvent::kCacheReferences), "cache_references");
+  EXPECT_STREQ(PmuEventName(PmuEvent::kCacheMisses), "cache_misses");
+  EXPECT_STREQ(PmuEventName(PmuEvent::kBranchMisses), "branch_misses");
+  EXPECT_STREQ(PmuEventName(PmuEvent::kTaskClockNs), "task_clock_ns");
+}
+
+TEST(PmuCountsTest, ArithmeticAndDeltaClamping) {
+  PmuCounts a;
+  EXPECT_TRUE(a.Empty());
+  a.Set(PmuEvent::kCycles, 100);
+  a.Set(PmuEvent::kInstructions, 250);
+  a.valid = true;
+  EXPECT_FALSE(a.Empty());
+
+  PmuCounts b;
+  b.Set(PmuEvent::kCycles, 40);
+  b.Set(PmuEvent::kInstructions, 300);  // > a's: the delta must clamp to 0
+  PmuCounts d = a.DeltaSince(b);
+  EXPECT_EQ(d.Get(PmuEvent::kCycles), 60u);
+  EXPECT_EQ(d.Get(PmuEvent::kInstructions), 0u);
+
+  PmuCounts sum;
+  sum += a;
+  sum += b;  // b.valid == false; the sum stays valid because a was
+  EXPECT_EQ(sum.Get(PmuEvent::kCycles), 140u);
+  EXPECT_TRUE(sum.valid);
+}
+
+TEST(PmuCountsTest, DerivedRatesHandleZeroDenominators) {
+  PmuCounts c;
+  EXPECT_DOUBLE_EQ(c.Ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(c.CacheMissRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.BranchMissesPerKiloInstructions(), 0.0);
+  c.Set(PmuEvent::kCycles, 200);
+  c.Set(PmuEvent::kInstructions, 500);
+  c.Set(PmuEvent::kCacheReferences, 1000);
+  c.Set(PmuEvent::kCacheMisses, 50);
+  c.Set(PmuEvent::kBranchMisses, 5);
+  EXPECT_DOUBLE_EQ(c.Ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(c.CacheMissRate(), 0.05);
+  EXPECT_DOUBLE_EQ(c.BranchMissesPerKiloInstructions(), 10.0);
+}
+
+TEST(PmuCountsTest, EnvDisableGrammar) {
+  EXPECT_FALSE(PmuEnvDisables(nullptr));  // unset: probe the hardware
+  EXPECT_TRUE(PmuEnvDisables("off"));
+  EXPECT_TRUE(PmuEnvDisables("0"));
+  EXPECT_TRUE(PmuEnvDisables("false"));
+  EXPECT_TRUE(PmuEnvDisables("no"));
+  EXPECT_TRUE(PmuEnvDisables("timing"));
+  EXPECT_FALSE(PmuEnvDisables("on"));
+  EXPECT_FALSE(PmuEnvDisables("1"));
+  EXPECT_FALSE(PmuEnvDisables(""));
+}
+
+TEST_F(PmuTimingTierTest, TimingTierFillsOnlyTaskClock) {
+  EXPECT_EQ(ActivePmuTier(), PmuTier::kTiming);
+  EXPECT_STREQ(PmuTierName(ActivePmuTier()), "timing");
+  PmuCounts begin = ReadPmuCounts();
+  EXPECT_FALSE(begin.valid);
+  EXPECT_EQ(begin.Get(PmuEvent::kCycles), 0u);
+  EXPECT_GT(begin.Get(PmuEvent::kTaskClockNs), 0u);
+  // Busy a little so the clock visibly advances.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  PmuCounts delta = ReadPmuCounts().DeltaSince(begin);
+  EXPECT_GT(delta.Get(PmuEvent::kTaskClockNs), 0u);
+  EXPECT_EQ(delta.Get(PmuEvent::kCycles), 0u);
+}
+
+TEST_F(PmuTimingTierTest, PhaseScopeAccumulatesIntoSink) {
+  PmuCounts sink;
+  {
+    PmuPhaseScope scope(&sink);
+    volatile double burn = 0.0;
+    for (int i = 0; i < 100000; ++i) burn = burn + 1.0;
+  }
+  EXPECT_GT(sink.Get(PmuEvent::kTaskClockNs), 0u);
+  EXPECT_FALSE(sink.valid);  // timing tier never reads hardware events
+  // Null sink: must be a safe no-op.
+  PmuPhaseScope noop(nullptr);
+}
+
+TEST_F(PmuTimingTierTest, StatsJsonMarksTimingTier) {
+  QueryStats stats;
+  stats.hardware.verification.Set(PmuEvent::kTaskClockNs, 1234567);
+  stats.total_points = 100;
+  RunInfo info;
+  info.bench = "obs_test";
+  std::string doc = StatsJson(stats, info, nullptr);
+  std::string error;
+  ASSERT_TRUE(ValidateJson(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"hardware\""), std::string::npos);
+  EXPECT_NE(doc.find("\"pmu_tier\":\"timing\""), std::string::npos);
+  EXPECT_NE(doc.find("\"task_clock_ns\":1234567"), std::string::npos);
+  // Hardware-only fields are omitted on the timing tier.
+  EXPECT_EQ(doc.find("\"ipc\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"cycles_per_point\""), std::string::npos);
+}
+
+TEST(PmuStatsJsonTest, HardwareSectionOmittedWhenNeverSampled) {
+  QueryStats stats;  // all-zero hardware counts
+  RunInfo info;
+  info.bench = "obs_test";
+  std::string doc = StatsJson(stats, info, nullptr);
+  EXPECT_EQ(doc.find("\"hardware\""), std::string::npos);
+}
+
+TEST(PmuStatsJsonTest, HardwareTierEmitsDerivedRates) {
+  // Synthesise a hardware-tier reading regardless of the host's PMU.
+  QueryStats stats;
+  stats.total_points = 1000;
+  stats.num_verified = 10;
+  stats.hardware.verification.Set(PmuEvent::kCycles, 50000);
+  stats.hardware.verification.Set(PmuEvent::kInstructions, 100000);
+  stats.hardware.verification.Set(PmuEvent::kCacheReferences, 2000);
+  stats.hardware.verification.Set(PmuEvent::kCacheMisses, 100);
+  stats.hardware.verification.valid = true;
+  RunInfo info;
+  info.bench = "obs_test";
+  std::string doc = StatsJson(stats, info, nullptr);
+  std::string error;
+  ASSERT_TRUE(ValidateJson(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"cycles\":50000"), std::string::npos);
+  EXPECT_NE(doc.find("\"ipc\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"cycles_per_point\":50"), std::string::npos);
+  EXPECT_NE(doc.find("\"cycles_per_candidate\":5000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exit-time observability flush (obs/exit_flush.hpp)
+// ---------------------------------------------------------------------------
+
+class ExitFlushTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DisarmExitFlush();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mio_exit_flush_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    DisarmExitFlush();
+    Tracer::Instance().SetEnabled(false);
+    Tracer::Instance().Clear();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string PathFor(const char* name) { return (dir_ / name).string(); }
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExitFlushTest, FlushWritesTruncationMarkedArtifacts) {
+  Tracer::Instance().SetEnabled(true);
+  Tracer::Instance().Clear();
+  { MIO_TRACE_SPAN("interrupted_phase"); }
+
+  ExitFlushConfig cfg;
+  cfg.trace_path = PathFor("trace.json");
+  cfg.stats_path = PathFor("stats.json");
+  cfg.stats_document = "{\"schema\":\"mio-stats-v1\",\"truncated\":true}";
+  ArmExitFlush(cfg);
+  EXPECT_TRUE(ExitFlushArmed());
+
+  FlushObservabilityNow();
+  EXPECT_FALSE(ExitFlushArmed());
+
+  std::string trace = Slurp(cfg.trace_path);
+  std::string error;
+  ASSERT_TRUE(ValidateJson(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(trace.find("interrupted_phase"), std::string::npos);
+
+  std::string stats = Slurp(cfg.stats_path);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_NE(stats.find("\"truncated\":true"), std::string::npos);
+}
+
+TEST_F(ExitFlushTest, FlushIsIdempotentAndDisarmable) {
+  ExitFlushConfig cfg;
+  cfg.stats_path = PathFor("stats.json");
+  cfg.stats_document = "{\"truncated\":true}";
+  ArmExitFlush(cfg);
+  DisarmExitFlush();
+  FlushObservabilityNow();  // disarmed: must write nothing
+  EXPECT_FALSE(std::filesystem::exists(cfg.stats_path));
+
+  ArmExitFlush(cfg);
+  FlushObservabilityNow();
+  EXPECT_TRUE(std::filesystem::exists(cfg.stats_path));
+  std::filesystem::remove(cfg.stats_path);
+  FlushObservabilityNow();  // already flushed: no re-write
+  EXPECT_FALSE(std::filesystem::exists(cfg.stats_path));
 }
 
 TEST(ThreadLoadTest, ComputesSummary) {

@@ -238,6 +238,62 @@ TEST_F(FaultInjectionTest, LabelWriteFaultIsBestEffortForQuery) {
 }
 
 // ---------------------------------------------------------------------------
+// Label-store bounded retries
+// ---------------------------------------------------------------------------
+
+std::uint64_t CounterValue(obs::Counter c) {
+  return obs::SnapshotMetrics().counters[static_cast<std::size_t>(c)];
+}
+
+TEST_F(FaultInjectionTest, LabelSaveRetriesTransientWriteFault) {
+  ObjectSet set = testing::MakeRandomObjects(6, 2, 4, 20.0, 11);
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  LabelStore store(PathFor("labels"));
+  // One-shot fault: the first attempt's first write op fails, the retry
+  // runs fault-free and succeeds.
+  ASSERT_TRUE(fault::Arm("io.label.write", "nth=1").ok());
+  EXPECT_TRUE(store.Save(3, labels).ok());
+  EXPECT_GE(CounterValue(obs::Counter::kLabelRetryAttempts), 1u);
+  EXPECT_EQ(CounterValue(obs::Counter::kLabelRetryExhausted), 0u);
+  EXPECT_TRUE(store.Load(3, set).ok());
+}
+
+TEST_F(FaultInjectionTest, LabelLoadRetriesTransientReadFault) {
+  ObjectSet set = testing::MakeRandomObjects(6, 2, 4, 20.0, 12);
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  LabelStore store(PathFor("labels"));
+  ASSERT_TRUE(store.Save(4, labels).ok());
+  ASSERT_TRUE(fault::Arm("io.label.read", "nth=1").ok());
+  Result<LabelSet> loaded = store.Load(4, set);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GE(CounterValue(obs::Counter::kLabelRetryAttempts), 1u);
+  EXPECT_EQ(CounterValue(obs::Counter::kLabelRetryExhausted), 0u);
+}
+
+TEST_F(FaultInjectionTest, LabelRetryExhaustionIsBoundedAndCounted) {
+  ObjectSet set = testing::MakeRandomObjects(6, 2, 4, 20.0, 13);
+  LabelSet labels = LabelSet::MakeAllOnes(set);
+  LabelStore store(PathFor("labels"));
+  ASSERT_TRUE(fault::Arm("io.label.write", "always").ok());
+  Status st = store.Save(5, labels);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // Exactly two re-attempts (three tries total), then gives up.
+  EXPECT_EQ(CounterValue(obs::Counter::kLabelRetryAttempts), 2u);
+  EXPECT_EQ(CounterValue(obs::Counter::kLabelRetryExhausted), 1u);
+}
+
+TEST_F(FaultInjectionTest, LabelLoadDoesNotRetryNotFound) {
+  ObjectSet set = testing::MakeRandomObjects(6, 2, 4, 20.0, 14);
+  LabelStore store(PathFor("labels"));
+  Result<LabelSet> loaded = store.Load(9, set);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(CounterValue(obs::Counter::kLabelRetryAttempts), 0u);
+  EXPECT_EQ(CounterValue(obs::Counter::kLabelRetryExhausted), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // QueryGuard / CancelToken / degradation planner units
 // ---------------------------------------------------------------------------
 

@@ -6,11 +6,15 @@
 //   mio stats    --in=birds.bin
 //   mio query    --in=birds.bin --r=4 --k=5 --threads=4 --algo=bigrid
 //   mio sweep    --in=birds.bin --r=4,4.2,4.4 --labels=./labels
+//   mio profile  --in=birds.bin --r=4 --warmup=1 --runs=5
+//   mio explain  --in=birds.bin --r=4
 //   mio convert  --in=birds.bin --out=birds.txt
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "baseline/nested_loop.hpp"
 #include "baseline/nl_kdtree.hpp"
@@ -23,10 +27,14 @@
 #include "core/mio_engine.hpp"
 #include "core/temporal.hpp"
 #include "datagen/presets.hpp"
+#include "geo/kernels.hpp"
 #include "io/dataset_io.hpp"
 #include "io/importers.hpp"
 #include "object/spatial_sort.hpp"
+#include "obs/exit_flush.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/stats_sink.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +54,13 @@ void Usage() {
       "            [--trace-out=FILE] [--stats-json=FILE|-]\n"
       "  sweep     --in=FILE --r=R1,R2,... [--k=K] [--threads=T] [--labels=DIR]\n"
       "            [--trace-out=FILE]\n"
+      "  profile   --in=FILE --r=R [--k=K] [--threads=T] [--warmup=N]\n"
+      "            [--runs=M] [--labels=DIR] [--out=FILE|-]\n"
+      "            (repeated measured runs; per-phase medians + hardware\n"
+      "             counters when the PMU is available, MIO_PMU=off forces\n"
+      "             the timing fallback)\n"
+      "  explain   --in=FILE --r=R [--k=K] [--threads=T] [--labels=DIR]\n"
+      "            (one query, human-readable pruning-funnel report)\n"
       "  convert   --in=FILE --out=FILE [--format=binary|text]\n"
       "  import-swc --dir=DIR --out=FILE      (NeuroMorpho morphologies)\n"
       "  import-csv --in=FILE --out=FILE [--id-col=id --x-col=x --y-col=y]\n"
@@ -167,6 +182,32 @@ int EmitObservability(const mio::ArgParser& args, const mio::QueryResult& res,
   return 0;
 }
 
+// Arms the exit-time flush backstop so an interrupted query still leaves
+// valid --trace-out / --stats-json artifacts (truncation-marked). Disarm
+// after the normal emission succeeds.
+void ArmObservabilityBackstop(const mio::ArgParser& args,
+                              const mio::obs::RunInfo& info) {
+  if (!args.Has("trace-out") && !args.Has("stats-json")) return;
+  mio::obs::ExitFlushConfig cfg;
+  if (args.Has("trace-out")) {
+    cfg.trace_path = args.GetString("trace-out", "trace.json");
+  }
+  if (args.Has("stats-json")) {
+    cfg.stats_path = args.GetString("stats-json", "-");
+    mio::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("mio-stats-v1");
+    w.Key("git").String(mio::obs::GitDescribe());
+    w.Key("bench").String(info.bench);
+    w.Key("dataset").String(info.dataset);
+    w.Key("algo").String(info.algo);
+    w.Key("truncated").Bool(true);
+    w.EndObject();
+    cfg.stats_document = std::move(w).Take() + "\n";
+  }
+  mio::obs::ArmExitFlush(std::move(cfg));
+}
+
 int CmdQuery(const mio::ArgParser& args) {
   mio::Result<mio::ObjectSet> loaded = LoadAny(args.GetString("in", ""));
   if (!loaded.ok()) return StatusExit(loaded.status());
@@ -178,6 +219,15 @@ int CmdQuery(const mio::ArgParser& args) {
   if (args.Has("trace-out")) mio::obs::Tracer::Instance().SetEnabled(true);
   mio::obs::ResetMetrics();
   mio::MemoryTracker::Instance().Observe("dataset", set.MemoryUsageBytes());
+
+  mio::obs::RunInfo info;
+  info.bench = "mio_cli";
+  info.dataset = args.GetString("in", "");
+  info.algo = args.Has("delta") ? "temporal" : algo;
+  info.r = r;
+  info.k = k;
+  info.threads = threads;
+  ArmObservabilityBackstop(args, info);
 
   mio::Timer t;
   mio::QueryResult res;
@@ -212,15 +262,10 @@ int CmdQuery(const mio::ArgParser& args) {
   double elapsed = t.ElapsedSeconds();
   PrintResult(res, elapsed);
 
-  mio::obs::RunInfo info;
-  info.bench = "mio_cli";
-  info.dataset = args.GetString("in", "");
   info.algo = algo;
-  info.r = r;
-  info.k = k;
-  info.threads = threads;
   info.wall_seconds = elapsed;
   int obs_rc = EmitObservability(args, res, info);
+  mio::obs::DisarmExitFlush();
   if (obs_rc != 0) return obs_rc;
   // A guardrail-terminated query still printed its best-so-far answer;
   // the exit code tells scripts which limit fired.
@@ -239,6 +284,14 @@ int CmdSweep(const mio::ArgParser& args) {
   opt.reuse_grid = true;  // same-ceiling queries share the large grid
   if (args.Has("trace-out")) mio::obs::Tracer::Instance().SetEnabled(true);
 
+  mio::obs::RunInfo info;
+  info.bench = "mio_cli_sweep";
+  info.dataset = args.GetString("in", "");
+  info.algo = "bigrid-label";
+  info.k = opt.k;
+  info.threads = opt.threads;
+  ArmObservabilityBackstop(args, info);
+
   std::printf("%8s %10s %10s %12s %10s\n", "r", "winner", "tau", "time[s]",
               "labels");
   mio::QueryResult last;
@@ -256,15 +309,265 @@ int CmdSweep(const mio::ArgParser& args) {
     last_wall = elapsed;
   }
 
-  mio::obs::RunInfo info;
-  info.bench = "mio_cli_sweep";
-  info.dataset = args.GetString("in", "");
-  info.algo = "bigrid-label";
   info.r = last_r;
-  info.k = opt.k;
-  info.threads = opt.threads;
   info.wall_seconds = last_wall;
-  return EmitObservability(args, last, info);
+  int obs_rc = EmitObservability(args, last, info);
+  mio::obs::DisarmExitFlush();
+  return obs_rc;
+}
+
+// --- mio profile -----------------------------------------------------------
+
+/// Median over the measured runs of one double drawn per run.
+template <typename F>
+double MedianOver(const std::vector<mio::QueryStats>& runs, F get) {
+  std::vector<double> v;
+  v.reserve(runs.size());
+  for (const mio::QueryStats& s : runs) v.push_back(get(s));
+  return mio::obs::Median(std::move(v));
+}
+
+/// Element-wise median of one phase's PMU counts across the runs.
+mio::obs::PmuCounts PmuMedianOver(
+    const std::vector<mio::QueryStats>& runs,
+    mio::obs::PmuCounts mio::PhaseHardware::*phase) {
+  mio::obs::PmuCounts out;
+  for (int e = 0; e < mio::obs::kNumPmuEvents; ++e) {
+    mio::obs::PmuEvent pe = static_cast<mio::obs::PmuEvent>(e);
+    double med = MedianOver(runs, [&](const mio::QueryStats& s) {
+      return static_cast<double>((s.hardware.*phase).Get(pe));
+    });
+    out.Set(pe, static_cast<std::uint64_t>(med + 0.5));
+  }
+  for (const mio::QueryStats& s : runs) out.valid |= (s.hardware.*phase).valid;
+  return out;
+}
+
+void WriteProfilePmu(mio::obs::JsonWriter& w, const char* key,
+                     const mio::obs::PmuCounts& c) {
+  if (c.Empty()) return;
+  w.Key(key).BeginObject();
+  for (int e = 0; e < mio::obs::kNumPmuEvents; ++e) {
+    mio::obs::PmuEvent pe = static_cast<mio::obs::PmuEvent>(e);
+    std::uint64_t v = c.Get(pe);
+    if (v == 0 && !c.valid) continue;  // timing tier: task_clock_ns only
+    w.Key(mio::obs::PmuEventName(pe)).UInt(v);
+  }
+  if (c.valid) {
+    w.Key("ipc").Double(c.Ipc());
+    w.Key("cache_miss_rate").Double(c.CacheMissRate());
+  }
+  w.EndObject();
+}
+
+int CmdProfile(const mio::ArgParser& args) {
+  mio::Result<mio::ObjectSet> loaded = LoadAny(args.GetString("in", ""));
+  if (!loaded.ok()) return StatusExit(loaded.status());
+  const mio::ObjectSet& set = loaded.value();
+  double r = args.GetDouble("r", 4.0);
+  std::size_t k = static_cast<std::size_t>(args.GetInt("k", 1));
+  int threads = static_cast<int>(args.GetInt("threads", 1));
+  int warmup = std::max(0, static_cast<int>(args.GetInt("warmup", 1)));
+  int runs = std::max(1, static_cast<int>(args.GetInt("runs", 5)));
+
+  mio::MioEngine engine(set, args.GetString("labels", ""));
+  mio::QueryOptions opt;
+  opt.k = k;
+  opt.threads = threads;
+  opt.use_labels = opt.record_labels = args.Has("labels");
+
+  for (int i = 0; i < warmup; ++i) (void)engine.Query(r, opt);
+
+  std::vector<double> wall;
+  std::vector<mio::QueryStats> stats;
+  for (int i = 0; i < runs; ++i) {
+    mio::Timer t;
+    mio::QueryResult res = engine.Query(r, opt);
+    if (!res.status.ok()) return StatusExit(res.status);
+    wall.push_back(t.ElapsedSeconds());
+    stats.push_back(std::move(res.stats));
+  }
+
+  const mio::obs::PmuTier tier = mio::obs::ActivePmuTier();
+  mio::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("mio-profile-v1");
+  w.Key("git").String(mio::obs::GitDescribe());
+  w.Key("dataset").String(args.GetString("in", ""));
+  w.Key("algo").String(args.Has("labels") ? "bigrid-label" : "bigrid");
+  w.Key("params").BeginObject();
+  w.Key("r").Double(r);
+  w.Key("k").UInt(k);
+  w.Key("threads").Int(threads);
+  w.Key("warmup").Int(warmup);
+  w.Key("runs").Int(runs);
+  w.EndObject();
+  w.Key("kernel_tier").String(mio::KernelTierName(mio::ActiveKernelTier()));
+  w.Key("pmu_tier").String(mio::obs::PmuTierName(tier));
+  // Machine-detectable marker that hardware counters were unavailable and
+  // only the steady-clock timing story is present.
+  if (tier == mio::obs::PmuTier::kTiming) w.Key("fallback").String("timing");
+  {
+    std::vector<double> sorted = wall;
+    w.Key("wall_seconds").BeginObject();
+    w.Key("median").Double(mio::obs::Median(sorted));
+    w.Key("min").Double(*std::min_element(wall.begin(), wall.end()));
+    w.Key("max").Double(*std::max_element(wall.begin(), wall.end()));
+    w.EndObject();
+  }
+  w.Key("phases").BeginObject();
+  w.Key("label_input").Double(MedianOver(
+      stats, [](const mio::QueryStats& s) { return s.phases.label_input; }));
+  w.Key("grid_mapping").Double(MedianOver(
+      stats, [](const mio::QueryStats& s) { return s.phases.grid_mapping; }));
+  w.Key("lower_bounding").Double(MedianOver(
+      stats, [](const mio::QueryStats& s) { return s.phases.lower_bounding; }));
+  w.Key("upper_bounding").Double(MedianOver(
+      stats, [](const mio::QueryStats& s) { return s.phases.upper_bounding; }));
+  w.Key("verification").Double(MedianOver(
+      stats, [](const mio::QueryStats& s) { return s.phases.verification; }));
+  w.Key("total").Double(MedianOver(
+      stats, [](const mio::QueryStats& s) { return s.phases.Total(); }));
+  w.EndObject();
+  {
+    mio::obs::PmuCounts label_input =
+        PmuMedianOver(stats, &mio::PhaseHardware::label_input);
+    mio::obs::PmuCounts grid =
+        PmuMedianOver(stats, &mio::PhaseHardware::grid_mapping);
+    mio::obs::PmuCounts lb =
+        PmuMedianOver(stats, &mio::PhaseHardware::lower_bounding);
+    mio::obs::PmuCounts ub =
+        PmuMedianOver(stats, &mio::PhaseHardware::upper_bounding);
+    mio::obs::PmuCounts verify =
+        PmuMedianOver(stats, &mio::PhaseHardware::verification);
+    mio::obs::PmuCounts total = label_input;
+    total += grid;
+    total += lb;
+    total += ub;
+    total += verify;
+    w.Key("hardware").BeginObject();
+    w.Key("phases").BeginObject();
+    WriteProfilePmu(w, "label_input", label_input);
+    WriteProfilePmu(w, "grid_mapping", grid);
+    WriteProfilePmu(w, "lower_bounding", lb);
+    WriteProfilePmu(w, "upper_bounding", ub);
+    WriteProfilePmu(w, "verification", verify);
+    WriteProfilePmu(w, "total", total);
+    w.EndObject();
+    if (total.valid) {
+      w.Key("derived").BeginObject();
+      w.Key("cycles_per_point")
+          .Double(MedianOver(stats, [](const mio::QueryStats& s) {
+            return s.total_points > 0
+                       ? static_cast<double>(s.hardware.Total().Get(
+                             mio::obs::PmuEvent::kCycles)) /
+                             static_cast<double>(s.total_points)
+                       : 0.0;
+          }));
+      w.Key("cycles_per_candidate")
+          .Double(MedianOver(stats, [](const mio::QueryStats& s) {
+            return s.num_verified > 0
+                       ? static_cast<double>(s.hardware.verification.Get(
+                             mio::obs::PmuEvent::kCycles)) /
+                             static_cast<double>(s.num_verified)
+                       : 0.0;
+          }));
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+
+  std::string doc = std::move(w).Take();
+  std::string error;
+  if (!mio::obs::ValidateJson(doc, &error)) {
+    std::fprintf(stderr, "internal error: profile JSON invalid: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::string out = args.GetString("out", "-");
+  mio::Status st = mio::obs::WriteTextFile(out, doc + "\n");
+  if (!st.ok()) return StatusExit(st);
+  if (out != "-") {
+    std::printf("profile: %s (%d runs, pmu tier %s)\n", out.c_str(), runs,
+                mio::obs::PmuTierName(tier));
+  }
+  return 0;
+}
+
+// --- mio explain -----------------------------------------------------------
+
+int CmdExplain(const mio::ArgParser& args) {
+  mio::Result<mio::ObjectSet> loaded = LoadAny(args.GetString("in", ""));
+  if (!loaded.ok()) return StatusExit(loaded.status());
+  const mio::ObjectSet& set = loaded.value();
+  double r = args.GetDouble("r", 4.0);
+  std::size_t k = static_cast<std::size_t>(args.GetInt("k", 1));
+  int threads = static_cast<int>(args.GetInt("threads", 1));
+
+  mio::MioEngine engine(set, args.GetString("labels", ""));
+  mio::QueryOptions opt;
+  opt.k = k;
+  opt.threads = threads;
+  opt.use_labels = opt.record_labels = args.Has("labels");
+  bool had_labels = opt.use_labels && engine.HasLabelsFor(r);
+
+  mio::Timer t;
+  mio::QueryResult res = engine.Query(r, opt);
+  double elapsed = t.ElapsedSeconds();
+  const mio::QueryStats& st = res.stats;
+  const std::size_t n = set.size();
+
+  auto pct = [](std::size_t num, std::size_t den) {
+    return den > 0 ? 100.0 * static_cast<double>(num) /
+                         static_cast<double>(den)
+                   : 0.0;
+  };
+
+  std::printf("explain: %s  r=%.3g k=%zu threads=%d\n",
+              args.GetString("in", "").c_str(), r, k, threads);
+  std::printf("tiers: kernel=%s pmu=%s\n",
+              mio::KernelTierName(mio::ActiveKernelTier()),
+              mio::obs::PmuTierName(mio::obs::ActivePmuTier()));
+  std::printf("\npruning funnel (paper §IV):\n");
+  std::printf("  objects               %12zu  (%zu points)\n", n,
+              st.total_points);
+  std::printf("  lower-bounding        tau_low_max=%u (threshold for pruning)\n",
+              st.tau_low_max);
+  std::printf("  ub-survivors          %12zu  (%.2f%% of objects enter the "
+              "candidate queue)\n",
+              st.num_candidates, pct(st.num_candidates, n));
+  std::printf("  verified exactly      %12zu  (%.2f%% of candidates; %zu "
+              "early-terminated by the queue bound)\n",
+              st.num_verified, pct(st.num_verified, st.num_candidates),
+              st.num_candidates > st.num_verified
+                  ? st.num_candidates - st.num_verified
+                  : 0);
+  if (!res.topk.empty()) {
+    std::printf("  winner                object %u  tau=%u\n", res.best().id,
+                res.best().score);
+  }
+  std::printf("\nwork: %zu distance computations, cells small/large %zu/%zu\n",
+              st.distance_computations, st.cells_small, st.cells_large);
+  if (opt.use_labels) {
+    std::printf("labels: %s (%zu points pruned by labels)\n",
+                had_labels ? "reused" : "recorded this run",
+                st.points_pruned_by_labels);
+  } else {
+    std::printf("labels: off (pass --labels=DIR to record/reuse)\n");
+  }
+  std::printf("degradation: %s\n",
+              st.degradation_level == 0
+                  ? "none"
+                  : (std::string("level ") +
+                     std::to_string(st.degradation_level))
+                        .c_str());
+  std::printf("outcome: %s%s\n", mio::StatusCodeName(res.status.code()),
+              res.complete ? "" : " (incomplete — best-so-far answer)");
+  std::printf("time: %.4fs (grid %.4f | lb %.4f | ub %.4f | verify %.4f)\n",
+              elapsed, st.phases.grid_mapping, st.phases.lower_bounding,
+              st.phases.upper_bounding, st.phases.verification);
+  return mio::ExitCodeFor(res.status.code());
 }
 
 int CmdConvert(const mio::ArgParser& args) {
@@ -324,6 +627,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "sweep") return CmdSweep(args);
+  if (cmd == "profile") return CmdProfile(args);
+  if (cmd == "explain") return CmdExplain(args);
   if (cmd == "convert") return CmdConvert(args);
   if (cmd == "import-swc") return CmdImportSwc(args);
   if (cmd == "import-csv") return CmdImportCsv(args);
