@@ -8,6 +8,8 @@
 #  - `mio explain` runs clean and prints the pruning funnel.
 # On hosts without a hardware PMU (most VMs) the PMU-ON build also lands
 # on the timing tier — that degradation is exactly what this gate checks.
+# Finally chains scripts/check_qlog.sh (the workload / query-log gate)
+# against the PMU-ON build; set MIO_SKIP_QLOG=1 to skip it.
 # Usage: scripts/check_profile.sh [build-dir-prefix]
 set -eu
 
@@ -101,3 +103,9 @@ grep -q "ub-survivors" "$WORK/explain.txt" \
   || { echo "FAILED: explain output missing ub-survivors"; exit 1; }
 
 echo "check_profile: all passes clean"
+
+# The qlog gate reuses the PMU-ON build's CLI; MIO_SKIP_QLOG=1 skips it
+# (e.g. when iterating on the profile checks alone).
+if [ "${MIO_SKIP_QLOG:-0}" != "1" ]; then
+  "$SRC/scripts/check_qlog.sh" "$PREFIX-on"
+fi

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Compare two mio-stats-v1 bench record files and flag regressions.
+"""Compare two mio bench record files and flag regressions.
 
-Records (JSONL, one mio-stats-v1 document per line — the output of
-scripts/run_benches.sh, `--json-out`, or `mio query --stats-json`) are
-matched by (bench, dataset, algo, r, k, threads, scale). A leading
-`mio-bench-header-v1` machine-identity line (run_benches.sh writes one)
+Records (JSONL — the output of scripts/run_benches.sh, `--json-out`, or
+`mio query --stats-json`) are matched by (bench, dataset, algo, r, k,
+threads, scale). Both record kinds run_benches.sh emits are understood:
+mio-stats-v1 harness records, and mio-qlog-v1 per-query workload records
+(keyed as bench "workload:<name>", so a workload configuration repeated
+across its radius cycle reduces to per-radius medians like repeated
+harness runs do). A leading `mio-bench-header-v1` machine-identity line
 is skipped. A configuration repeated within one file (run_benches.sh
 repeats each harness for exactly this reason) is reduced to the median
 of the compared metric, so a single noisy run cannot fake a regression.
@@ -39,12 +42,19 @@ def load_records(path):
             schema = doc.get("schema")
             if schema in SKIPPED_SCHEMAS:
                 continue
-            if schema != "mio-stats-v1":
-                sys.exit(f"{path}:{lineno}: unexpected schema "
-                         f"{schema!r} (want 'mio-stats-v1')")
+            if schema == "mio-qlog-v1":
+                # Workload per-query record: the workload name plays the
+                # bench role; wall_seconds / total_seconds / phases.* are
+                # reachable through the same metric paths.
+                bench = "workload:" + doc.get("workload", "")
+            elif schema == "mio-stats-v1":
+                bench = doc.get("bench", "")
+            else:
+                sys.exit(f"{path}:{lineno}: unexpected schema {schema!r} "
+                         "(want 'mio-stats-v1' or 'mio-qlog-v1')")
             params = doc.get("params", {})
             key = (
-                doc.get("bench", ""),
+                bench,
                 doc.get("dataset", ""),
                 doc.get("algo", ""),
                 params.get("r", 0),

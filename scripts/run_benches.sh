@@ -9,7 +9,9 @@
 #   rest     mio-stats-v1 records. Each harness runs MIO_BENCH_REPEATS
 #            times (default 3); compare_bench.py aggregates the repeated
 #            configurations by median, which is why the repeats are
-#            appended rather than pre-reduced.
+#            appended rather than pre-reduced. When the mio CLI is built,
+#            a canonical 30-query workload's mio-qlog-v1 records are
+#            appended as well (per-query latency coverage).
 #
 # Usage: scripts/run_benches.sh [build-dir] [out-file]
 #   build-dir  defaults to ./build (must already be built)
@@ -32,6 +34,8 @@ if [ ! -d "$BUILD/bench" ]; then
   echo "error: $BUILD/bench not found — build with -DMIO_BUILD_BENCHMARKS=ON" >&2
   exit 1
 fi
+# Absolute: the workload step below runs the CLI from another directory.
+BUILD=$(cd "$BUILD" && pwd)
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
@@ -79,6 +83,34 @@ run() { # run <binary> <flags...>
 
 run bench_table2_breakdown
 run bench_fig9_parallel --t=1,2
+
+# Canonical workload: per-query latency records (mio-qlog-v1) from the
+# CLI's workload runner, appended alongside the harness records so
+# compare_bench.py can also flag per-query regressions (keyed by
+# workload/r/threads; repeated radii reduce to the median). Skipped when
+# the CLI is not built. The dataset path is relative so the stamped
+# `dataset` field is stable across checkouts and machines.
+CLI="$BUILD/tools/mio"
+if [ -x "$CLI" ]; then
+  WORKDIR=$(mktemp -d)
+  # shellcheck disable=SC2064
+  trap "rm -f '$TMP'; rm -rf '$WORKDIR'" EXIT
+  echo "== canonical workload (mio run-workload) =="
+  "$CLI" generate --preset=bird2 --scale=quick --seed=11 \
+    --out="$WORKDIR/bench-bird2-quick.bin" > /dev/null
+  cat > "$WORKDIR/bench.spec" <<'SPEC'
+name bench-canonical
+defaults k=1 threads=2 labels=on
+repeat 30 r=3,4.5,9
+SPEC
+  (cd "$WORKDIR" && "$CLI" run-workload --spec=bench.spec \
+    --in=bench-bird2-quick.bin --qlog=qlog.jsonl)
+  cat "$WORKDIR/qlog.jsonl" >> "$TMP"
+  rm -rf "$WORKDIR"
+  trap 'rm -f "$TMP"' EXIT
+else
+  echo "skip: $CLI (not built) — no canonical workload records" >&2
+fi
 
 if [ "$(wc -l < "$TMP")" -le 1 ]; then
   echo "error: no JSON records were produced" >&2

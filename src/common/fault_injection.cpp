@@ -78,6 +78,8 @@ const std::vector<std::string>& FaultSites() {
       "io.label.write",    // LabelStore::Save entry (failed write)
       "io.import.open",    // importer file open (SWC / CSV)
       "alloc.bigrid",      // per-object allocation during BIGrid build
+      "workload.query_delay",  // injects latency into a workload query
+                               // (tail-sampling tests force a slow query)
   };
   return kSites;
 }

@@ -24,15 +24,22 @@ MioEngine::MioEngine(const ObjectSet& objects, std::string label_dir)
   }
 }
 
-const LabelSet* MioEngine::LookupLabels(int ceil_r, double* load_seconds) {
+const LabelSet* MioEngine::LookupLabels(int ceil_r, double* load_seconds,
+                                        LabelOutcome* outcome) {
   auto it = label_cache_.find(ceil_r);
-  if (it != label_cache_.end()) return &it->second;
+  if (it != label_cache_.end()) {
+    obs::Add(obs::Counter::kLabelCacheHits);
+    *outcome = LabelOutcome::kHitMemory;
+    return &it->second;
+  }
   if (store_ != nullptr && store_->Has(ceil_r)) {
     Timer timer;
     Result<LabelSet> loaded = store_->Load(ceil_r, objects_);
     if (load_seconds != nullptr) *load_seconds = timer.ElapsedSeconds();
     if (loaded.ok()) {
       auto [ins, _] = label_cache_.emplace(ceil_r, std::move(loaded).value());
+      obs::Add(obs::Counter::kLabelCacheHits);
+      *outcome = LabelOutcome::kHitDisk;
       return &ins->second;
     }
     // A corrupt / mismatched file is a cache miss, not an error: evict it
@@ -43,6 +50,8 @@ const LabelSet* MioEngine::LookupLabels(int ceil_r, double* load_seconds) {
       store_->Remove(ceil_r);
     }
   }
+  obs::Add(obs::Counter::kLabelCacheMisses);
+  *outcome = LabelOutcome::kMiss;
   return nullptr;
 }
 
@@ -113,7 +122,8 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   if (options.use_labels) {
     MIO_TRACE_SPAN_CAT("label_input", "query");
     obs::PmuPhaseScope pmu(&stats.hardware.label_input);
-    use_labels = LookupLabels(ceil_r, &stats.phases.label_input);
+    use_labels =
+        LookupLabels(ceil_r, &stats.phases.label_input, &stats.label_outcome);
   }
   LabelSet recorded;
   LabelSet* record_labels = nullptr;
@@ -249,6 +259,12 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   // A tripped query ran its phases partially, so the recorded labels are
   // incomplete — discard them rather than persist a low-value set.
   if (record_labels != nullptr && !guard.tripped()) {
+    // A miss that ran to completion produced a fresh label set — the next
+    // query in this ceiling class will hit. (A shed or tripped recording
+    // stays kMiss: nothing reusable was produced.)
+    if (stats.label_outcome == LabelOutcome::kMiss) {
+      stats.label_outcome = LabelOutcome::kMissRecorded;
+    }
     stats.points_pruned_by_labels = recorded.CountMapPruned();
     if (store_ != nullptr) {
       // Persisting is best-effort: a failed write only costs future reuse.

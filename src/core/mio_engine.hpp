@@ -58,7 +58,12 @@ class MioEngine {
   bool planar() const { return planar_; }
 
  private:
-  const LabelSet* LookupLabels(int ceil_r, double* load_seconds);
+  /// Looks up reusable labels for `ceil_r` and classifies the result
+  /// (memory hit / disk hit / miss) into `*outcome`, bumping the
+  /// labels.cache_hits / labels.cache_misses counters. A miss is later
+  /// refined to kMissRecorded when this query records a fresh set.
+  const LabelSet* LookupLabels(int ceil_r, double* load_seconds,
+                               LabelOutcome* outcome);
 
   const ObjectSet& objects_;
   bool planar_ = false;

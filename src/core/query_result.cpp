@@ -5,6 +5,34 @@
 
 namespace mio {
 
+const char* LabelOutcomeName(LabelOutcome outcome) {
+  switch (outcome) {
+    case LabelOutcome::kOff:
+      return "off";
+    case LabelOutcome::kHitMemory:
+      return "hit_memory";
+    case LabelOutcome::kHitDisk:
+      return "hit_disk";
+    case LabelOutcome::kMissRecorded:
+      return "recorded";
+    case LabelOutcome::kMiss:
+      return "miss";
+  }
+  return "unknown";
+}
+
+bool ParseLabelOutcome(const std::string& name, LabelOutcome* out) {
+  for (LabelOutcome o :
+       {LabelOutcome::kOff, LabelOutcome::kHitMemory, LabelOutcome::kHitDisk,
+        LabelOutcome::kMissRecorded, LabelOutcome::kMiss}) {
+    if (name == LabelOutcomeName(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<ScoredObject> TopKFromScores(
     const std::vector<std::uint32_t>& scores, std::size_t k) {
   const std::size_t n = scores.size();

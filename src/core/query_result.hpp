@@ -58,6 +58,24 @@ struct PhaseHardware {
   }
 };
 
+/// How one query's label lookup (§III-D, BIGrid-label) resolved. The
+/// per-query qlog records and `mio explain` report this directly; the
+/// aggregate view is the labels.cache_hits / labels.cache_misses metrics.
+enum class LabelOutcome : std::uint8_t {
+  kOff = 0,      ///< query ran without label reuse (use_labels = false)
+  kHitMemory,    ///< reused labels already resident in the engine cache
+  kHitDisk,      ///< reused labels loaded from the label store
+  kMissRecorded, ///< nothing reusable; this query recorded a fresh set
+  kMiss,         ///< nothing reusable and recording was off (or shed)
+};
+
+/// Canonical short name ("off", "hit_memory", ...), stable across the
+/// qlog schema.
+const char* LabelOutcomeName(LabelOutcome outcome);
+
+/// Inverse of LabelOutcomeName; false when `name` is not an outcome.
+bool ParseLabelOutcome(const std::string& name, LabelOutcome* out);
+
 /// Everything the empirical study reports about one query execution.
 struct QueryStats {
   PhaseTimes phases;
@@ -87,6 +105,10 @@ struct QueryStats {
   int threads = 1;
   /// True when the query adopted a cached large grid (reuse_grid mode).
   bool reused_grid = false;
+
+  /// How the label lookup resolved for this query (kOff when labels were
+  /// not requested).
+  LabelOutcome label_outcome = LabelOutcome::kOff;
 
   /// Highest memory-budget degradation step applied (0 = none; 1 = label
   /// recording shed, 2 = grid cache dropped, 3 = streaming verification).

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace mio {
 namespace obs {
@@ -136,18 +138,62 @@ void AppendJsonEscaped(std::string_view s, std::string* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Validator: recursive-descent over the JSON grammar (RFC 8259).
+// Validator and parser: one recursive descent over the JSON grammar
+// (RFC 8259). ValidateJson passes a null sink (no allocation); ParseJson
+// builds the JsonValue tree.
 // ---------------------------------------------------------------------------
 
+/// The parser's write access to JsonValue internals; not part of the
+/// public API (declared friend in json.hpp, defined only here).
+struct JsonValueBuilder {
+  static void SetType(JsonValue* v, JsonValue::Type t) { v->type_ = t; }
+  static void SetBool(JsonValue* v, bool b) {
+    v->type_ = JsonValue::Type::kBool;
+    v->bool_ = b;
+  }
+  static void SetNumber(JsonValue* v, double d) {
+    v->type_ = JsonValue::Type::kNumber;
+    v->num_ = d;
+  }
+  static std::string* MutableString(JsonValue* v) { return &v->str_; }
+  static JsonValue* AddMember(JsonValue* v, std::string key) {
+    v->members_.emplace_back(std::move(key), JsonValue{});
+    return &v->members_.back().second;
+  }
+  static JsonValue* AddElement(JsonValue* v) {
+    v->elements_.emplace_back();
+    return &v->elements_.back();
+  }
+};
+
 namespace {
+
+/// Encodes one Unicode code point as UTF-8.
+void AppendUtf8(std::uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
 
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  bool Parse(std::string* error) {
+  bool Parse(std::string* error, JsonValue* out = nullptr) {
     SkipWs();
-    if (!ParseValue()) {
+    if (!ParseValue(out)) {
       if (error != nullptr) {
         *error = err_ + " at offset " + std::to_string(pos_);
       }
@@ -189,7 +235,7 @@ class Parser {
     return true;
   }
 
-  bool ParseValue() {
+  bool ParseValue(JsonValue* out) {
     if (++depth_ > 256) return Fail("nesting too deep");
     SkipWs();
     char c;
@@ -197,32 +243,44 @@ class Parser {
     bool ok;
     switch (c) {
       case '{':
-        ok = ParseObject();
+        ok = ParseObject(out);
         break;
       case '[':
-        ok = ParseArray();
+        ok = ParseArray(out);
         break;
       case '"':
-        ok = ParseString();
+        ok = ParseString(out != nullptr ? JsonValueBuilder::MutableString(out)
+                                        : nullptr);
+        if (ok && out != nullptr) {
+          JsonValueBuilder::SetType(out, JsonValue::Type::kString);
+        }
         break;
       case 't':
         ok = Literal("true");
+        if (ok && out != nullptr) JsonValueBuilder::SetBool(out, true);
         break;
       case 'f':
         ok = Literal("false");
+        if (ok && out != nullptr) JsonValueBuilder::SetBool(out, false);
         break;
       case 'n':
         ok = Literal("null");
+        if (ok && out != nullptr) {
+          JsonValueBuilder::SetType(out, JsonValue::Type::kNull);
+        }
         break;
       default:
-        ok = ParseNumber();
+        ok = ParseNumber(out);
     }
     --depth_;
     return ok;
   }
 
-  bool ParseObject() {
+  bool ParseObject(JsonValue* out) {
     ++pos_;  // '{'
+    if (out != nullptr) {
+      JsonValueBuilder::SetType(out, JsonValue::Type::kObject);
+    }
     SkipWs();
     char c;
     if (Peek(&c) && c == '}') {
@@ -232,11 +290,16 @@ class Parser {
     while (true) {
       SkipWs();
       if (!Peek(&c) || c != '"') return Fail("expected object key");
-      if (!ParseString()) return false;
+      std::string key;
+      if (!ParseString(out != nullptr ? &key : nullptr)) return false;
       SkipWs();
       if (!Peek(&c) || c != ':') return Fail("expected ':'");
       ++pos_;
-      if (!ParseValue()) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        slot = JsonValueBuilder::AddMember(out, std::move(key));
+      }
+      if (!ParseValue(slot)) return false;
       SkipWs();
       if (!Peek(&c)) return Fail("unterminated object");
       if (c == ',') {
@@ -251,8 +314,11 @@ class Parser {
     }
   }
 
-  bool ParseArray() {
+  bool ParseArray(JsonValue* out) {
     ++pos_;  // '['
+    if (out != nullptr) {
+      JsonValueBuilder::SetType(out, JsonValue::Type::kArray);
+    }
     SkipWs();
     char c;
     if (Peek(&c) && c == ']') {
@@ -260,7 +326,11 @@ class Parser {
       return true;
     }
     while (true) {
-      if (!ParseValue()) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        slot = JsonValueBuilder::AddElement(out);
+      }
+      if (!ParseValue(slot)) return false;
       SkipWs();
       if (!Peek(&c)) return Fail("unterminated array");
       if (c == ',') {
@@ -275,7 +345,9 @@ class Parser {
     }
   }
 
-  bool ParseString() {
+  /// Parses a string token; when `decoded` is non-null the unescaped
+  /// contents are appended to it (\uXXXX and surrogate pairs as UTF-8).
+  bool ParseString(std::string* decoded) {
     ++pos_;  // '"'
     while (pos_ < text_.size()) {
       unsigned char c = static_cast<unsigned char>(text_[pos_]);
@@ -289,24 +361,59 @@ class Parser {
         if (pos_ >= text_.size()) return Fail("dangling escape");
         char e = text_[pos_];
         if (e == 'u') {
-          for (int i = 1; i <= 4; ++i) {
-            if (pos_ + i >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-              return Fail("bad \\u escape");
+          std::uint32_t cp;
+          if (!ParseHex4(pos_ + 1, &cp)) return Fail("bad \\u escape");
+          pos_ += 4;
+          // A high surrogate must pair with a following \uDC00-\uDFFF low
+          // surrogate; combine into the supplementary-plane code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 6 < text_.size() &&
+              text_[pos_ + 1] == '\\' && text_[pos_ + 2] == 'u') {
+            std::uint32_t lo;
+            if (ParseHex4(pos_ + 3, &lo) && lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              pos_ += 6;
             }
           }
-          pos_ += 4;
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
-          return Fail("bad escape character");
+          if (decoded != nullptr) AppendUtf8(cp, decoded);
+        } else {
+          char real;
+          switch (e) {
+            case '"': real = '"'; break;
+            case '\\': real = '\\'; break;
+            case '/': real = '/'; break;
+            case 'b': real = '\b'; break;
+            case 'f': real = '\f'; break;
+            case 'n': real = '\n'; break;
+            case 'r': real = '\r'; break;
+            case 't': real = '\t'; break;
+            default:
+              return Fail("bad escape character");
+          }
+          if (decoded != nullptr) *decoded += real;
         }
+      } else if (decoded != nullptr) {
+        *decoded += static_cast<char>(c);
       }
       ++pos_;
     }
     return Fail("unterminated string");
   }
 
-  bool ParseNumber() {
+  /// Reads 4 hex digits at `at` into `*cp`.
+  bool ParseHex4(std::size_t at, std::uint32_t* cp) {
+    if (at + 4 > text_.size()) return false;
+    std::uint32_t v = 0;
+    for (std::size_t i = at; i < at + 4; ++i) {
+      unsigned char h = static_cast<unsigned char>(text_[i]);
+      if (!std::isxdigit(h)) return false;
+      v = v * 16 + static_cast<std::uint32_t>(
+                       std::isdigit(h) ? h - '0' : std::tolower(h) - 'a' + 10);
+    }
+    *cp = v;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
     std::size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     if (pos_ >= text_.size() ||
@@ -346,7 +453,16 @@ class Parser {
         ++pos_;
       }
     }
-    return pos_ > start;
+    if (pos_ <= start) return false;
+    if (out != nullptr) {
+      // The token was fully checked against the JSON grammar above, so
+      // strtod on a NUL-terminated copy cannot fail.
+      JsonValueBuilder::SetNumber(
+          out, std::strtod(
+                   std::string(text_.substr(start, pos_ - start)).c_str(),
+                   nullptr));
+    }
+    return true;
   }
 
   std::string_view text_;
@@ -359,6 +475,48 @@ class Parser {
 
 bool ValidateJson(std::string_view text, std::string* error) {
   return Parser(text).Parse(error);
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  JsonValue parsed;
+  if (!Parser(text).Parse(error, &parsed)) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+std::uint64_t JsonValue::AsUInt(std::uint64_t fallback) const {
+  if (!IsNumber() || num_ < 0.0) return fallback;
+  return static_cast<std::uint64_t>(num_ + 0.5);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::GetDouble(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsDouble(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::GetUInt(std::string_view key,
+                                 std::uint64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsUInt(fallback) : fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsBool(fallback) : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->IsString() ? v->AsString() : fallback;
 }
 
 }  // namespace obs

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mio {
@@ -54,6 +55,64 @@ void AppendJsonEscaped(std::string_view s, std::string* out);
 /// returns false and, when `error` is non-null, a short description with
 /// the byte offset.
 bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON value tree — the read side of JsonWriter, used by the
+/// qlog reader and tests that need field values, not just validity.
+/// Numbers are kept as doubles (every value the writer emits fits; the
+/// qlog counters stay exact up to 2^53).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsObject() const { return type_ == Type::kObject; }
+  bool IsArray() const { return type_ == Type::kArray; }
+
+  bool AsBool(bool fallback = false) const {
+    return IsBool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return IsNumber() ? num_ : fallback;
+  }
+  std::uint64_t AsUInt(std::uint64_t fallback = 0) const;
+  const std::string& AsString() const { return str_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience member lookups (fallback when absent / wrong type).
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  std::uint64_t GetUInt(std::string_view key, std::uint64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = "") const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+ private:
+  friend struct JsonValueBuilder;  ///< parser-side mutation (json.cpp)
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< kObject
+  std::vector<JsonValue> elements_;                         ///< kArray
+};
+
+/// Parses a complete JSON document into a value tree. Same grammar as
+/// ValidateJson; string escapes (including \uXXXX and surrogate pairs)
+/// are decoded to UTF-8. On failure returns false and, when `error` is
+/// non-null, a short description with the byte offset.
+bool ParseJson(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
 
 }  // namespace obs
 }  // namespace mio

@@ -136,6 +136,12 @@ const char* CounterName(Counter c) {
       return "labels.retry_attempts";
     case Counter::kLabelRetryExhausted:
       return "labels.retry_exhausted";
+    case Counter::kLabelCacheHits:
+      return "labels.cache_hits";
+    case Counter::kLabelCacheMisses:
+      return "labels.cache_misses";
+    case Counter::kTraceDroppedSpans:
+      return "trace.dropped_spans";
     case Counter::kCount_:
       break;
   }

@@ -38,6 +38,9 @@ enum class Counter : int {
   kLabelsCorruptRecovered,  ///< corrupt label files recovered as cache miss
   kLabelRetryAttempts,      ///< label-store save/load retries performed
   kLabelRetryExhausted,     ///< label-store ops that failed every attempt
+  kLabelCacheHits,          ///< label lookups served from cache or disk
+  kLabelCacheMisses,        ///< label lookups with nothing reusable
+  kTraceDroppedSpans,       ///< spans overwritten by tracer ring overflow
   kCount_
 };
 

@@ -1,0 +1,631 @@
+#include "obs/qlog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.hpp"
+#include "obs/stats_sink.hpp"
+
+namespace mio {
+namespace obs {
+
+namespace {
+
+constexpr const char* kQlogSchema = "mio-qlog-v1";
+
+/// Canonical label-outcome names. Kept in sync with LabelOutcomeName()
+/// in core/query_result.cpp (the obs layer cannot include core headers);
+/// a test asserts the two lists match.
+constexpr const char* kLabelOutcomes[] = {"off", "hit_memory", "hit_disk",
+                                          "recorded", "miss"};
+
+bool IsLabelOutcome(const std::string& name) {
+  for (const char* o : kLabelOutcomes) {
+    if (name == o) return true;
+  }
+  return false;
+}
+
+/// The five phase names, in pipeline order — shared by the writer, the
+/// validator, and the report.
+constexpr const char* kPhaseNames[] = {"label_input", "grid_mapping",
+                                       "lower_bounding", "upper_bounding",
+                                       "verification"};
+
+double* PhaseField(QlogRecord* rec, std::size_t i) {
+  double* fields[] = {&rec->phase_label_input, &rec->phase_grid_mapping,
+                      &rec->phase_lower_bounding, &rec->phase_upper_bounding,
+                      &rec->phase_verification};
+  return fields[i];
+}
+
+const double* PhaseField(const QlogRecord* rec, std::size_t i) {
+  return PhaseField(const_cast<QlogRecord*>(rec), i);
+}
+
+// --- Validation helpers ------------------------------------------------------
+
+Status Missing(const char* section, const char* field) {
+  return Status::InvalidArgument(std::string("qlog: missing or wrong-typed ") +
+                                 section + "." + field);
+}
+
+Status RequireNumber(const JsonValue& obj, const char* section,
+                     const char* field) {
+  const JsonValue* v = obj.Find(field);
+  if (v == nullptr || !v->IsNumber()) return Missing(section, field);
+  return Status::OK();
+}
+
+Status RequireString(const JsonValue& obj, const char* section,
+                     const char* field) {
+  const JsonValue* v = obj.Find(field);
+  if (v == nullptr || !v->IsString()) return Missing(section, field);
+  return Status::OK();
+}
+
+Status RequireBool(const JsonValue& obj, const char* section,
+                   const char* field) {
+  const JsonValue* v = obj.Find(field);
+  if (v == nullptr || !v->IsBool()) return Missing(section, field);
+  return Status::OK();
+}
+
+Result<const JsonValue*> RequireObject(const JsonValue& root,
+                                       const char* field) {
+  const JsonValue* v = root.Find(field);
+  if (v == nullptr || !v->IsObject()) {
+    return Status::InvalidArgument(
+        std::string("qlog: missing or wrong-typed section ") + field);
+  }
+  return v;
+}
+
+/// Full structural check of a parsed qlog document. Shared by
+/// ValidateQlogLine and ParseQlogRecord so a record can never parse
+/// without also validating.
+Status CheckQlogDocument(const JsonValue& doc) {
+  if (!doc.IsObject()) {
+    return Status::InvalidArgument("qlog: record is not a JSON object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->AsString() != kQlogSchema) {
+    return Status::InvalidArgument(std::string("qlog: schema is not ") +
+                                   kQlogSchema);
+  }
+  MIO_RETURN_NOT_OK(RequireNumber(doc, "", "query_index"));
+  MIO_RETURN_NOT_OK(RequireString(doc, "", "workload"));
+  MIO_RETURN_NOT_OK(RequireString(doc, "", "dataset"));
+  MIO_RETURN_NOT_OK(RequireString(doc, "", "algo"));
+  MIO_RETURN_NOT_OK(RequireNumber(doc, "", "wall_seconds"));
+  MIO_RETURN_NOT_OK(RequireNumber(doc, "", "total_seconds"));
+
+  Result<const JsonValue*> params = RequireObject(doc, "params");
+  MIO_RETURN_NOT_OK(params.status());
+  for (const char* f : {"r", "ceil_r", "k", "threads"}) {
+    MIO_RETURN_NOT_OK(RequireNumber(*params.value(), "params", f));
+  }
+
+  Result<const JsonValue*> phases = RequireObject(doc, "phases");
+  MIO_RETURN_NOT_OK(phases.status());
+  for (const char* f : kPhaseNames) {
+    MIO_RETURN_NOT_OK(RequireNumber(*phases.value(), "phases", f));
+  }
+  MIO_RETURN_NOT_OK(RequireNumber(*phases.value(), "phases", "total"));
+
+  Result<const JsonValue*> funnel = RequireObject(doc, "funnel");
+  MIO_RETURN_NOT_OK(funnel.status());
+  for (const char* f :
+       {"objects", "candidates", "verified", "distance_computations"}) {
+    MIO_RETURN_NOT_OK(RequireNumber(*funnel.value(), "funnel", f));
+  }
+
+  Result<const JsonValue*> winner = RequireObject(doc, "winner");
+  MIO_RETURN_NOT_OK(winner.status());
+  MIO_RETURN_NOT_OK(RequireNumber(*winner.value(), "winner", "id"));
+  MIO_RETURN_NOT_OK(RequireNumber(*winner.value(), "winner", "score"));
+
+  Result<const JsonValue*> labels = RequireObject(doc, "labels");
+  MIO_RETURN_NOT_OK(labels.status());
+  MIO_RETURN_NOT_OK(RequireString(*labels.value(), "labels", "outcome"));
+  MIO_RETURN_NOT_OK(RequireNumber(*labels.value(), "labels", "points_pruned"));
+  if (!IsLabelOutcome(labels.value()->GetString("outcome"))) {
+    return Status::InvalidArgument("qlog: unknown labels.outcome \"" +
+                                   labels.value()->GetString("outcome") + "\"");
+  }
+
+  Result<const JsonValue*> outcome = RequireObject(doc, "outcome");
+  MIO_RETURN_NOT_OK(outcome.status());
+  MIO_RETURN_NOT_OK(RequireString(*outcome.value(), "outcome", "status"));
+  MIO_RETURN_NOT_OK(RequireBool(*outcome.value(), "outcome", "complete"));
+  MIO_RETURN_NOT_OK(
+      RequireNumber(*outcome.value(), "outcome", "degradation_level"));
+  if (outcome.value()->GetString("status").empty()) {
+    return Status::InvalidArgument("qlog: empty outcome.status");
+  }
+
+  Result<const JsonValue*> env = RequireObject(doc, "env");
+  MIO_RETURN_NOT_OK(env.status());
+  MIO_RETURN_NOT_OK(RequireString(*env.value(), "env", "pmu_tier"));
+  MIO_RETURN_NOT_OK(RequireString(*env.value(), "env", "kernel_tier"));
+
+  Result<const JsonValue*> memory = RequireObject(doc, "memory");
+  MIO_RETURN_NOT_OK(memory.status());
+  MIO_RETURN_NOT_OK(RequireNumber(*memory.value(), "memory", "index_bytes"));
+  MIO_RETURN_NOT_OK(RequireNumber(*memory.value(), "memory", "peak_bytes"));
+
+  Result<const JsonValue*> trace = RequireObject(doc, "trace");
+  MIO_RETURN_NOT_OK(trace.status());
+  MIO_RETURN_NOT_OK(RequireNumber(*trace.value(), "trace", "dropped_spans"));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string QlogRecordToJsonLine(const QlogRecord& rec) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kQlogSchema);
+  w.Key("query_index").UInt(rec.query_index);
+  w.Key("workload").String(rec.workload);
+  w.Key("dataset").String(rec.dataset);
+  w.Key("algo").String(rec.algo);
+  w.Key("params").BeginObject();
+  w.Key("r").Double(rec.r);
+  w.Key("ceil_r").Int(rec.ceil_r);
+  w.Key("k").UInt(rec.k);
+  w.Key("threads").Int(rec.threads);
+  w.EndObject();
+  w.Key("wall_seconds").Double(rec.wall_seconds);
+  w.Key("total_seconds").Double(rec.total_seconds);
+  w.Key("phases").BeginObject();
+  double phase_total = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    double v = *PhaseField(&rec, i);
+    w.Key(kPhaseNames[i]).Double(v);
+    phase_total += v;
+  }
+  w.Key("total").Double(phase_total);
+  w.EndObject();
+  w.Key("funnel").BeginObject();
+  w.Key("objects").UInt(rec.objects);
+  w.Key("candidates").UInt(rec.candidates);
+  w.Key("verified").UInt(rec.verified);
+  w.Key("distance_computations").UInt(rec.distance_computations);
+  w.EndObject();
+  w.Key("winner").BeginObject();
+  w.Key("id").UInt(rec.winner_id);
+  w.Key("score").UInt(rec.winner_score);
+  w.EndObject();
+  w.Key("labels").BeginObject();
+  w.Key("outcome").String(rec.label_outcome);
+  w.Key("points_pruned").UInt(rec.points_pruned_by_labels);
+  w.EndObject();
+  w.Key("outcome").BeginObject();
+  w.Key("status").String(rec.status);
+  w.Key("complete").Bool(rec.complete);
+  w.Key("degradation_level").UInt(rec.degradation_level);
+  w.EndObject();
+  w.Key("env").BeginObject();
+  w.Key("pmu_tier").String(rec.pmu_tier);
+  w.Key("kernel_tier").String(rec.kernel_tier);
+  w.EndObject();
+  w.Key("memory").BeginObject();
+  w.Key("index_bytes").UInt(rec.index_memory_bytes);
+  w.Key("peak_bytes").UInt(rec.peak_memory_bytes);
+  w.EndObject();
+  w.Key("trace").BeginObject();
+  w.Key("dropped_spans").UInt(rec.trace_dropped_spans);
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+Status ValidateQlogLine(std::string_view line) {
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(line, &doc, &error)) {
+    return Status::InvalidArgument("qlog: bad JSON: " + error);
+  }
+  return CheckQlogDocument(doc);
+}
+
+Status ParseQlogRecord(std::string_view line, QlogRecord* out) {
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(line, &doc, &error)) {
+    return Status::InvalidArgument("qlog: bad JSON: " + error);
+  }
+  MIO_RETURN_NOT_OK(CheckQlogDocument(doc));
+  QlogRecord rec;
+  rec.query_index = doc.GetUInt("query_index");
+  rec.workload = doc.GetString("workload");
+  rec.dataset = doc.GetString("dataset");
+  rec.algo = doc.GetString("algo");
+  const JsonValue* params = doc.Find("params");
+  rec.r = params->GetDouble("r");
+  rec.ceil_r = static_cast<int>(params->GetUInt("ceil_r"));
+  rec.k = params->GetUInt("k");
+  rec.threads = static_cast<int>(params->GetUInt("threads", 1));
+  rec.wall_seconds = doc.GetDouble("wall_seconds");
+  rec.total_seconds = doc.GetDouble("total_seconds");
+  const JsonValue* phases = doc.Find("phases");
+  for (std::size_t i = 0; i < 5; ++i) {
+    *PhaseField(&rec, i) = phases->GetDouble(kPhaseNames[i]);
+  }
+  const JsonValue* funnel = doc.Find("funnel");
+  rec.objects = funnel->GetUInt("objects");
+  rec.candidates = funnel->GetUInt("candidates");
+  rec.verified = funnel->GetUInt("verified");
+  rec.distance_computations = funnel->GetUInt("distance_computations");
+  const JsonValue* winner = doc.Find("winner");
+  rec.winner_id = winner->GetUInt("id");
+  rec.winner_score = winner->GetUInt("score");
+  const JsonValue* labels = doc.Find("labels");
+  rec.label_outcome = labels->GetString("outcome");
+  rec.points_pruned_by_labels = labels->GetUInt("points_pruned");
+  const JsonValue* outcome = doc.Find("outcome");
+  rec.status = outcome->GetString("status");
+  rec.complete = outcome->GetBool("complete");
+  rec.degradation_level =
+      static_cast<std::uint32_t>(outcome->GetUInt("degradation_level"));
+  const JsonValue* env = doc.Find("env");
+  rec.pmu_tier = env->GetString("pmu_tier");
+  rec.kernel_tier = env->GetString("kernel_tier");
+  const JsonValue* memory = doc.Find("memory");
+  rec.index_memory_bytes = memory->GetUInt("index_bytes");
+  rec.peak_memory_bytes = memory->GetUInt("peak_bytes");
+  rec.trace_dropped_spans = doc.Find("trace")->GetUInt("dropped_spans");
+  *out = std::move(rec);
+  return Status::OK();
+}
+
+Result<std::vector<QlogRecord>> LoadQlogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("qlog: cannot open: " + path);
+  }
+  std::vector<QlogRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    QlogRecord rec;
+    Status st = ParseQlogRecord(line, &rec);
+    if (!st.ok()) {
+      return Status(st.code(), path + ":" + std::to_string(lineno) + ": " +
+                                   st.message());
+    }
+    records.push_back(std::move(rec));
+  }
+  if (in.bad()) {
+    return Status::IOError("qlog: read error: " + path);
+  }
+  return records;
+}
+
+// --- QlogWriter --------------------------------------------------------------
+
+QlogWriter::~QlogWriter() { (void)Close(); }
+
+Status QlogWriter::Open(const std::string& path, bool append) {
+  MIO_RETURN_NOT_OK(Close());
+  if (path == "-") {
+    file_ = stdout;
+    owns_file_ = false;
+    return Status::OK();
+  }
+  file_ = std::fopen(path.c_str(), append ? "a" : "w");
+  if (file_ == nullptr) {
+    return Status::IOError("qlog: cannot open: " + path);
+  }
+  owns_file_ = true;
+  return Status::OK();
+}
+
+Status QlogWriter::Append(const QlogRecord& rec) {
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("qlog: writer is not open");
+  }
+  std::string line = QlogRecordToJsonLine(rec);
+  // The serialiser is total over QlogRecord fields, so this only fires on
+  // a programming error (e.g. an outcome string not from the enum) — but
+  // an invalid line in a qlog poisons every downstream consumer, so check.
+  MIO_RETURN_NOT_OK(ValidateQlogLine(line));
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IOError("qlog: short write");
+  }
+  // Flush per record: a killed workload keeps every completed query.
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("qlog: flush failed");
+  }
+  ++records_;
+  return Status::OK();
+}
+
+Status QlogWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::FILE* f = file_;
+  bool owns = owns_file_;
+  file_ = nullptr;
+  owns_file_ = false;
+  if (owns) {
+    if (std::fclose(f) != 0) return Status::IOError("qlog: close failed");
+  } else {
+    if (std::fflush(f) != 0) return Status::IOError("qlog: flush failed");
+  }
+  return Status::OK();
+}
+
+// --- TailSampler -------------------------------------------------------------
+
+TailSampler::Decision TailSampler::Offer(std::uint64_t index,
+                                         double wall_seconds) {
+  Decision d;
+  if (!enabled()) return d;
+  if (cfg_.threshold_seconds > 0.0 && wall_seconds >= cfg_.threshold_seconds) {
+    permanent_.insert(index);
+    d.export_trace = true;
+  }
+  if (cfg_.slowest_n > 0) {
+    slowest_.emplace(wall_seconds, index);
+    if (slowest_.size() > cfg_.slowest_n) {
+      auto fastest = slowest_.begin();
+      std::uint64_t evicted = fastest->second;
+      slowest_.erase(fastest);
+      if (evicted == index) {
+        // The new query itself fell straight out of the slowest-N set;
+        // only a threshold hit keeps its trace.
+      } else {
+        d.export_trace = true;  // the new query joined the slowest-N
+        if (permanent_.count(evicted) == 0) d.evict.push_back(evicted);
+      }
+    } else {
+      d.export_trace = true;
+    }
+  }
+  return d;
+}
+
+std::vector<std::uint64_t> TailSampler::TailIndices() const {
+  std::vector<std::uint64_t> out(permanent_.begin(), permanent_.end());
+  for (const auto& [seconds, index] : slowest_) {
+    (void)seconds;
+    if (permanent_.count(index) == 0) out.push_back(index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string TailTraceFileName(std::uint64_t query_index) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "q%06llu.trace.json",
+                static_cast<unsigned long long>(query_index));
+  return buf;
+}
+
+// --- Report ------------------------------------------------------------------
+
+namespace {
+
+QlogLatencySummary SummarizeLatency(std::vector<double> values) {
+  QlogLatencySummary s;
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  for (double v : values) s.sum += v;
+  s.mean = s.sum / static_cast<double>(values.size());
+  // Percentile sorts a copy per call; fine at report scale.
+  s.p50 = Percentile(values, 0.50);
+  s.p95 = Percentile(values, 0.95);
+  s.p99 = Percentile(values, 0.99);
+  return s;
+}
+
+/// Path of a slow query's trace file if it exists under `trace_dir`
+/// (tail sampling only keeps files for tail queries), else "".
+std::string ResolveTraceFile(const std::string& trace_dir,
+                             std::uint64_t query_index) {
+  if (trace_dir.empty()) return "";
+  std::string path = trace_dir;
+  if (path.back() != '/') path.push_back('/');
+  path += TailTraceFileName(query_index);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace
+
+QlogReport BuildQlogReport(const std::vector<QlogRecord>& records,
+                           std::size_t slowest_n) {
+  QlogReport report;
+  report.num_queries = records.size();
+
+  std::vector<double> wall;
+  wall.reserve(records.size());
+  std::vector<std::vector<double>> phase_values(5);
+  std::map<int, QlogCeilClassStats> classes;
+  for (const QlogRecord& rec : records) {
+    wall.push_back(rec.wall_seconds);
+    if (!rec.complete) ++report.incomplete;
+    if (rec.degradation_level > 0) ++report.degraded;
+    for (std::size_t i = 0; i < 5; ++i) {
+      phase_values[i].push_back(*PhaseField(&rec, i));
+    }
+    QlogCeilClassStats& cls = classes[rec.ceil_r];
+    cls.ceil_r = rec.ceil_r;
+    ++cls.queries;
+    if (rec.LabelHit()) {
+      ++cls.hits;
+    } else if (rec.label_outcome == "recorded") {
+      ++cls.recorded;
+    } else if (rec.label_outcome == "miss") {
+      ++cls.misses;
+    }
+  }
+  report.latency = SummarizeLatency(wall);
+
+  double phase_sum = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    QlogPhaseAggregate agg;
+    agg.name = kPhaseNames[i];
+    for (double v : phase_values[i]) agg.total_seconds += v;
+    agg.p50 = Percentile(phase_values[i], 0.50);
+    agg.p99 = Percentile(phase_values[i], 0.99);
+    phase_sum += agg.total_seconds;
+    report.phases.push_back(std::move(agg));
+  }
+  for (QlogPhaseAggregate& agg : report.phases) {
+    agg.share = phase_sum > 0.0 ? agg.total_seconds / phase_sum : 0.0;
+  }
+
+  for (auto& [ceil_r, cls] : classes) {
+    report.ceil_classes.push_back(cls);  // std::map: already ceil_r-sorted
+  }
+
+  // Slowest-N table: wall-descending, ties toward the later index — the
+  // same order the TailSampler retains, so the table's head lines up with
+  // the kept trace files.
+  std::vector<const QlogRecord*> by_wall;
+  by_wall.reserve(records.size());
+  for (const QlogRecord& rec : records) by_wall.push_back(&rec);
+  std::sort(by_wall.begin(), by_wall.end(),
+            [](const QlogRecord* a, const QlogRecord* b) {
+              if (a->wall_seconds != b->wall_seconds) {
+                return a->wall_seconds > b->wall_seconds;
+              }
+              return a->query_index > b->query_index;
+            });
+  std::size_t n = std::min(slowest_n, by_wall.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const QlogRecord* rec = by_wall[i];
+    QlogSlowQuery slow;
+    slow.query_index = rec->query_index;
+    slow.wall_seconds = rec->wall_seconds;
+    slow.r = rec->r;
+    slow.status = rec->status;
+    slow.label_outcome = rec->label_outcome;
+    report.slowest.push_back(std::move(slow));
+  }
+  return report;
+}
+
+std::string QlogReportToJson(const QlogReport& report,
+                             const std::string& trace_dir) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("mio-qlog-report-v1");
+  w.Key("num_queries").UInt(report.num_queries);
+  w.Key("incomplete").UInt(report.incomplete);
+  w.Key("degraded").UInt(report.degraded);
+  w.Key("latency").BeginObject();
+  w.Key("min").Double(report.latency.min);
+  w.Key("max").Double(report.latency.max);
+  w.Key("mean").Double(report.latency.mean);
+  w.Key("p50").Double(report.latency.p50);
+  w.Key("p95").Double(report.latency.p95);
+  w.Key("p99").Double(report.latency.p99);
+  w.Key("sum").Double(report.latency.sum);
+  w.EndObject();
+  w.Key("phases").BeginObject();
+  for (const QlogPhaseAggregate& agg : report.phases) {
+    w.Key(agg.name).BeginObject();
+    w.Key("total_seconds").Double(agg.total_seconds);
+    w.Key("share").Double(agg.share);
+    w.Key("p50").Double(agg.p50);
+    w.Key("p99").Double(agg.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("label_reuse").BeginArray();
+  for (const QlogCeilClassStats& cls : report.ceil_classes) {
+    w.BeginObject();
+    w.Key("ceil_r").Int(cls.ceil_r);
+    w.Key("queries").UInt(cls.queries);
+    w.Key("hits").UInt(cls.hits);
+    w.Key("recorded").UInt(cls.recorded);
+    w.Key("misses").UInt(cls.misses);
+    w.Key("hit_rate").Double(cls.HitRate());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("slowest").BeginArray();
+  for (const QlogSlowQuery& slow : report.slowest) {
+    w.BeginObject();
+    w.Key("query_index").UInt(slow.query_index);
+    w.Key("wall_seconds").Double(slow.wall_seconds);
+    w.Key("r").Double(slow.r);
+    w.Key("status").String(slow.status);
+    w.Key("label_outcome").String(slow.label_outcome);
+    std::string trace = ResolveTraceFile(trace_dir, slow.query_index);
+    if (!trace.empty()) w.Key("trace_file").String(trace);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string FormatQlogReport(const QlogReport& report,
+                             const std::string& trace_dir) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "qlog report: %zu queries (%zu incomplete, %zu degraded)\n",
+                report.num_queries, report.incomplete, report.degraded);
+  out += buf;
+  const QlogLatencySummary& lat = report.latency;
+  std::snprintf(buf, sizeof(buf),
+                "  wall latency: p50 %.6fs  p95 %.6fs  p99 %.6fs  "
+                "(min %.6f, mean %.6f, max %.6f, sum %.3f)\n",
+                lat.p50, lat.p95, lat.p99, lat.min, lat.mean, lat.max,
+                lat.sum);
+  out += buf;
+  out += "  phases (total seconds, share of phase time):\n";
+  for (const QlogPhaseAggregate& agg : report.phases) {
+    std::snprintf(buf, sizeof(buf),
+                  "    %-15s %10.6fs  %5.1f%%  (p50 %.6f, p99 %.6f)\n",
+                  agg.name.c_str(), agg.total_seconds, 100.0 * agg.share,
+                  agg.p50, agg.p99);
+    out += buf;
+  }
+  out += "  label reuse per ceil(r) class:\n";
+  for (const QlogCeilClassStats& cls : report.ceil_classes) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "    ceil_r %-5d %6llu queries  hits %-6llu recorded %-6llu "
+        "misses %-6llu hit rate %5.1f%%\n",
+        cls.ceil_r, static_cast<unsigned long long>(cls.queries),
+        static_cast<unsigned long long>(cls.hits),
+        static_cast<unsigned long long>(cls.recorded),
+        static_cast<unsigned long long>(cls.misses), 100.0 * cls.HitRate());
+    out += buf;
+  }
+  out += "  slowest queries:\n";
+  for (const QlogSlowQuery& slow : report.slowest) {
+    std::snprintf(buf, sizeof(buf),
+                  "    q%-6llu %.6fs  r=%-8g %-10s labels=%s",
+                  static_cast<unsigned long long>(slow.query_index),
+                  slow.wall_seconds, slow.r, slow.status.c_str(),
+                  slow.label_outcome.c_str());
+    out += buf;
+    std::string trace = ResolveTraceFile(trace_dir, slow.query_index);
+    if (!trace.empty()) {
+      out += "  trace=";
+      out += trace;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mio

@@ -1,0 +1,254 @@
+// Per-query structured logging (qlog) for workload runs. Where the
+// stats sink (mio-stats-v1) serialises *one* query per process in full
+// depth, the qlog is the workload-scale surface: one compact validated
+// JSONL record per query ("mio-qlog-v1") — wall latency, per-phase
+// seconds, the pruning funnel, the label-reuse outcome, the guardrail
+// outcome, and resource footprints — cheap enough to append on every
+// query of a long run.
+//
+// The same header also holds the tail-based trace sampler: tracing stays
+// armed for every query, but the Chrome trace is only kept for queries
+// exceeding a latency threshold or landing in the slowest-N, so the
+// outliers that matter stay fully explainable while a 10k-query workload
+// does not write 10k trace files.
+//
+// `mio run-workload` writes qlogs; `mio qlog report` aggregates them
+// (p50/p95/p99 latency via the shared R-7 percentile helpers, per-phase
+// aggregates, label hit rate per ceil(r) class, slowest-N pointers).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mio {
+namespace obs {
+
+/// One query's log record. String enums (`label_outcome`, `status`) are
+/// carried as their canonical short names so the record round-trips
+/// without pulling core headers into the obs layer; the workload runner
+/// fills them from LabelOutcomeName / StatusCodeName.
+struct QlogRecord {
+  // Identity.
+  std::uint64_t query_index = 0;  ///< position in the workload, 0-based
+  std::string workload;           ///< workload-spec name ("" = unnamed)
+  std::string dataset;
+  std::string algo;               ///< "bigrid" / "bigrid-label"
+  double r = 0.0;
+  int ceil_r = 0;                 ///< the label-reuse equivalence class
+  std::uint64_t k = 1;
+  int threads = 1;
+
+  // Timing. `wall_seconds` is the harness-side clock around the query;
+  // `total_seconds` the engine-side clock (phases + glue).
+  double wall_seconds = 0.0;
+  double total_seconds = 0.0;
+  double phase_label_input = 0.0;
+  double phase_grid_mapping = 0.0;
+  double phase_lower_bounding = 0.0;
+  double phase_upper_bounding = 0.0;
+  double phase_verification = 0.0;
+
+  // Pruning funnel (objects -> upper-bound survivors -> verified).
+  std::uint64_t objects = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t distance_computations = 0;
+  std::uint64_t winner_id = 0;
+  std::uint64_t winner_score = 0;
+
+  // Label reuse (LabelOutcomeName: off / hit_memory / hit_disk /
+  // recorded / miss).
+  std::string label_outcome = "off";
+  std::uint64_t points_pruned_by_labels = 0;
+
+  // Guardrail outcome (StatusCodeName).
+  std::string status = "OK";
+  bool complete = true;
+  std::uint32_t degradation_level = 0;
+
+  // Environment and resources.
+  std::string pmu_tier;
+  std::string kernel_tier;
+  std::uint64_t index_memory_bytes = 0;
+  std::uint64_t peak_memory_bytes = 0;
+  std::uint64_t trace_dropped_spans = 0;
+
+  /// True when the label lookup reused an existing set (memory or disk).
+  bool LabelHit() const {
+    return label_outcome == "hit_memory" || label_outcome == "hit_disk";
+  }
+};
+
+/// Serialises one record as a single "mio-qlog-v1" JSON line (no
+/// trailing newline). The output always passes ValidateQlogLine.
+std::string QlogRecordToJsonLine(const QlogRecord& rec);
+
+/// Schema check of one JSONL line: well-formed JSON, `"schema":
+/// "mio-qlog-v1"`, every required section and field present with the
+/// right type, and enum strings from their canonical sets.
+Status ValidateQlogLine(std::string_view line);
+
+/// Parses (and validates) one line back into a record.
+Status ParseQlogRecord(std::string_view line, QlogRecord* out);
+
+/// Reads a whole qlog file, validating every line; the line number is
+/// included in any error.
+Result<std::vector<QlogRecord>> LoadQlogFile(const std::string& path);
+
+/// Append-oriented qlog file writer: one validated JSONL line per
+/// Append(), flushed per record so a killed workload keeps every
+/// completed query. "-" writes to stdout.
+class QlogWriter {
+ public:
+  QlogWriter() = default;
+  ~QlogWriter();
+  QlogWriter(const QlogWriter&) = delete;
+  QlogWriter& operator=(const QlogWriter&) = delete;
+
+  /// Opens `path` (truncating, or appending with `append` — the bench
+  /// collector appends workload records after the harness records).
+  Status Open(const std::string& path, bool append = false);
+
+  Status Append(const QlogRecord& rec);
+
+  /// Flushes and closes; returns the first deferred write error.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  std::size_t records_written() const { return records_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;  ///< false for "-" (stdout)
+  std::size_t records_ = 0;
+};
+
+/// Tail-sampling policy: which queries keep their trace file.
+struct TailSamplerConfig {
+  /// Queries with wall latency >= this are tail, permanently (0 = off).
+  double threshold_seconds = 0.0;
+  /// The slowest N queries of the whole workload are tail; membership is
+  /// provisional — a faster query is evicted when a slower one arrives
+  /// (0 = off).
+  std::size_t slowest_n = 0;
+
+  bool enabled() const { return threshold_seconds > 0.0 || slowest_n > 0; }
+};
+
+/// Streaming decision-maker over per-query latencies. Offer() is called
+/// once per query in workload order; the final tail set is exactly
+///   {i : wall_i >= threshold}  ∪  slowest-N by (wall, index)
+/// with ties broken toward the later index (deterministic — the check
+/// scripts recompute the same set from the qlog).
+class TailSampler {
+ public:
+  explicit TailSampler(TailSamplerConfig cfg) : cfg_(cfg) {}
+
+  struct Decision {
+    /// Export this query's trace now.
+    bool export_trace = false;
+    /// Previously-exported queries that just fell out of the slowest-N
+    /// set: their trace files should be deleted.
+    std::vector<std::uint64_t> evict;
+  };
+
+  Decision Offer(std::uint64_t index, double wall_seconds);
+
+  bool enabled() const { return cfg_.enabled(); }
+
+  /// Current tail set (sorted by index); final after the last Offer().
+  std::vector<std::uint64_t> TailIndices() const;
+
+ private:
+  TailSamplerConfig cfg_;
+  /// Current slowest-N members, ordered by (seconds, index) ascending —
+  /// begin() is the next eviction candidate.
+  std::set<std::pair<double, std::uint64_t>> slowest_;
+  /// Threshold-exceeders: never evicted.
+  std::unordered_set<std::uint64_t> permanent_;
+};
+
+/// Conventional trace-file name for a workload query, used by the
+/// runner, the report, and the check scripts alike: "q000123.trace.json".
+std::string TailTraceFileName(std::uint64_t query_index);
+
+// --- Aggregation (`mio qlog report`) ---------------------------------------
+
+/// Latency/seconds summary over one field of the records (R-7
+/// percentiles, shared with `mio profile`).
+struct QlogLatencySummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double sum = 0.0;
+};
+
+/// Per-phase aggregate: total seconds across the workload and the share
+/// of the summed phase time.
+struct QlogPhaseAggregate {
+  std::string name;
+  double total_seconds = 0.0;
+  double share = 0.0;     ///< of the summed phase totals
+  double p50 = 0.0;       ///< per-query median
+  double p99 = 0.0;
+};
+
+/// Label-reuse effectiveness within one ceil(r) equivalence class.
+struct QlogCeilClassStats {
+  int ceil_r = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;      ///< hit_memory + hit_disk
+  std::uint64_t recorded = 0;  ///< misses that recorded a fresh set
+  std::uint64_t misses = 0;    ///< misses with nothing recorded
+  double HitRate() const {
+    return queries > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(queries)
+                       : 0.0;
+  }
+};
+
+/// One slowest-N entry with enough identity to find the query again.
+struct QlogSlowQuery {
+  std::uint64_t query_index = 0;
+  double wall_seconds = 0.0;
+  double r = 0.0;
+  std::string status;
+  std::string label_outcome;
+};
+
+struct QlogReport {
+  std::size_t num_queries = 0;
+  std::size_t incomplete = 0;
+  std::size_t degraded = 0;
+  QlogLatencySummary latency;             ///< over wall_seconds
+  std::vector<QlogPhaseAggregate> phases;
+  std::vector<QlogCeilClassStats> ceil_classes;  ///< sorted by ceil_r
+  std::vector<QlogSlowQuery> slowest;     ///< wall-descending, max N
+};
+
+/// Aggregates records (any order) into a report; `slowest_n` bounds the
+/// slowest-queries table.
+QlogReport BuildQlogReport(const std::vector<QlogRecord>& records,
+                           std::size_t slowest_n = 5);
+
+/// The machine-readable report ("mio-qlog-report-v1"). `trace_dir`
+/// (optional) resolves slowest-N entries to existing trace files.
+std::string QlogReportToJson(const QlogReport& report,
+                             const std::string& trace_dir = "");
+
+/// The human-readable report. Same trace_dir convention.
+std::string FormatQlogReport(const QlogReport& report,
+                             const std::string& trace_dir = "");
+
+}  // namespace obs
+}  // namespace mio

@@ -202,6 +202,7 @@ std::string StatsJsonImpl(const QueryStats& stats, const RunInfo& info,
   if (info.wall_seconds > 0.0) w.Key("wall_seconds").Double(info.wall_seconds);
   w.Key("threads_used").Int(stats.threads);
   w.Key("reused_grid").Bool(stats.reused_grid);
+  w.Key("label_outcome").String(LabelOutcomeName(stats.label_outcome));
   if (result != nullptr) {
     w.Key("outcome").BeginObject();
     w.Key("status").String(StatusCodeName(result->status.code()));

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace mio {
 namespace obs {
@@ -82,6 +83,12 @@ void TraceSpan::End() {
   std::int64_t end_ns = NowNs();
   ThreadBuffer& buf = Buffer();
   int depth = --buf.depth;
+  // A full ring means this store overwrites the oldest span. The drop is
+  // visible both via Tracer::DroppedEvents (lifetime) and as the
+  // trace.dropped_spans metrics counter (per-run, reset with the rest).
+  if (buf.recorded >= Tracer::kRingCapacity) {
+    Add(Counter::kTraceDroppedSpans);
+  }
   TraceEvent& ev = buf.ring[buf.next];
   ev.name = name_;
   ev.cat = cat_;
@@ -210,7 +217,11 @@ std::string Tracer::ToChromeTraceJson(bool truncated) const {
   }
   w.EndArray();
   w.Key("displayTimeUnit").String("ms");
-  if (truncated) w.Key("truncated").Bool(true);
+  // Ring overflow means the timeline is missing its oldest spans — mark
+  // the export truncated just like an exit-flush partial write would be.
+  std::uint64_t dropped = DroppedEvents();
+  if (dropped > 0) w.Key("dropped_spans").UInt(dropped);
+  if (truncated || dropped > 0) w.Key("truncated").Bool(true);
   w.EndObject();
   return std::move(w).Take();
 }

@@ -84,7 +84,8 @@ class Tracer {
   /// recorded on the hardware PMU tier carry args (cycles, instructions,
   /// ipc, cache_miss_rate, ...). `truncated` adds a top-level
   /// `"truncated": true` marker (the exit-flush path uses it to mark a
-  /// document written before the query finished).
+  /// document written before the query finished); ring overflow adds the
+  /// same marker plus a `"dropped_spans": N` count on its own.
   std::string ToChromeTraceJson(bool truncated = false) const;
 
   /// Writes ToChromeTraceJson(truncated) to `path`.

@@ -1,0 +1,539 @@
+// Tests for the qlog layer (obs/qlog.hpp): mio-qlog-v1 record round-trip
+// on every field, string-escaping edge cases, validator rejections, the
+// JsonValue parser, writer/loader file behaviour, tail-sampling policy,
+// and report aggregation against the shared R-7 percentile helper.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/query_result.hpp"
+#include "obs/json.hpp"
+#include "obs/qlog.hpp"
+#include "obs/stats_sink.hpp"
+
+namespace mio {
+namespace obs {
+namespace {
+
+class QlogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mio_qlog_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string PathFor(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+/// A record with a distinctive value in every field, so a round-trip
+/// mix-up between any two fields is caught.
+QlogRecord MakeFullRecord() {
+  QlogRecord rec;
+  rec.query_index = 41;
+  rec.workload = "mix-workload";
+  rec.dataset = "data/birds.bin";
+  rec.algo = "bigrid-label";
+  rec.r = 4.25;
+  rec.ceil_r = 5;
+  rec.k = 3;
+  rec.threads = 7;
+  rec.wall_seconds = 0.125;
+  rec.total_seconds = 0.117;
+  rec.phase_label_input = 0.001;
+  rec.phase_grid_mapping = 0.032;
+  rec.phase_lower_bounding = 0.008;
+  rec.phase_upper_bounding = 0.046;
+  rec.phase_verification = 0.03;
+  rec.objects = 1200;
+  rec.candidates = 321;
+  rec.verified = 54;
+  rec.distance_computations = 987654;
+  rec.winner_id = 17;
+  rec.winner_score = 290;
+  rec.label_outcome = "hit_disk";
+  rec.points_pruned_by_labels = 23456;
+  rec.status = "DeadlineExceeded";
+  rec.complete = false;
+  rec.degradation_level = 2;
+  rec.pmu_tier = "timing";
+  rec.kernel_tier = "avx2";
+  rec.index_memory_bytes = 123456789;
+  rec.peak_memory_bytes = 234567890;
+  rec.trace_dropped_spans = 11;
+  return rec;
+}
+
+TEST(QlogRecord, RoundTripsEveryField) {
+  QlogRecord rec = MakeFullRecord();
+  std::string line = QlogRecordToJsonLine(rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  ASSERT_TRUE(ValidateQlogLine(line).ok());
+
+  QlogRecord back;
+  ASSERT_TRUE(ParseQlogRecord(line, &back).ok());
+  EXPECT_EQ(back.query_index, rec.query_index);
+  EXPECT_EQ(back.workload, rec.workload);
+  EXPECT_EQ(back.dataset, rec.dataset);
+  EXPECT_EQ(back.algo, rec.algo);
+  EXPECT_DOUBLE_EQ(back.r, rec.r);
+  EXPECT_EQ(back.ceil_r, rec.ceil_r);
+  EXPECT_EQ(back.k, rec.k);
+  EXPECT_EQ(back.threads, rec.threads);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, rec.wall_seconds);
+  EXPECT_DOUBLE_EQ(back.total_seconds, rec.total_seconds);
+  EXPECT_DOUBLE_EQ(back.phase_label_input, rec.phase_label_input);
+  EXPECT_DOUBLE_EQ(back.phase_grid_mapping, rec.phase_grid_mapping);
+  EXPECT_DOUBLE_EQ(back.phase_lower_bounding, rec.phase_lower_bounding);
+  EXPECT_DOUBLE_EQ(back.phase_upper_bounding, rec.phase_upper_bounding);
+  EXPECT_DOUBLE_EQ(back.phase_verification, rec.phase_verification);
+  EXPECT_EQ(back.objects, rec.objects);
+  EXPECT_EQ(back.candidates, rec.candidates);
+  EXPECT_EQ(back.verified, rec.verified);
+  EXPECT_EQ(back.distance_computations, rec.distance_computations);
+  EXPECT_EQ(back.winner_id, rec.winner_id);
+  EXPECT_EQ(back.winner_score, rec.winner_score);
+  EXPECT_EQ(back.label_outcome, rec.label_outcome);
+  EXPECT_EQ(back.points_pruned_by_labels, rec.points_pruned_by_labels);
+  EXPECT_EQ(back.status, rec.status);
+  EXPECT_EQ(back.complete, rec.complete);
+  EXPECT_EQ(back.degradation_level, rec.degradation_level);
+  EXPECT_EQ(back.pmu_tier, rec.pmu_tier);
+  EXPECT_EQ(back.kernel_tier, rec.kernel_tier);
+  EXPECT_EQ(back.index_memory_bytes, rec.index_memory_bytes);
+  EXPECT_EQ(back.peak_memory_bytes, rec.peak_memory_bytes);
+  EXPECT_EQ(back.trace_dropped_spans, rec.trace_dropped_spans);
+}
+
+TEST(QlogRecord, RoundTripsEscapingEdgeCases) {
+  QlogRecord rec = MakeFullRecord();
+  // Quotes, backslashes, control characters, a tab, and multi-byte UTF-8
+  // in the free-text fields.
+  rec.workload = "a\"b\\c\n\td\x01";
+  rec.dataset = "päth/with ünïcode/\"quoted\".bin";
+  std::string line = QlogRecordToJsonLine(rec);
+  ASSERT_TRUE(ValidateQlogLine(line).ok());
+  QlogRecord back;
+  ASSERT_TRUE(ParseQlogRecord(line, &back).ok());
+  EXPECT_EQ(back.workload, rec.workload);
+  EXPECT_EQ(back.dataset, rec.dataset);
+}
+
+TEST(QlogRecord, DefaultRecordIsValid) {
+  std::string line = QlogRecordToJsonLine(QlogRecord{});
+  EXPECT_TRUE(ValidateQlogLine(line).ok()) << line;
+}
+
+TEST(QlogRecord, PhasesTotalIsSumOfPhases) {
+  QlogRecord rec = MakeFullRecord();
+  std::string line = QlogRecordToJsonLine(rec);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(line, &doc));
+  const JsonValue* phases = doc.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  double expected = rec.phase_label_input + rec.phase_grid_mapping +
+                    rec.phase_lower_bounding + rec.phase_upper_bounding +
+                    rec.phase_verification;
+  EXPECT_DOUBLE_EQ(phases->GetDouble("total"), expected);
+}
+
+TEST(QlogValidate, RejectsMalformedInput) {
+  EXPECT_FALSE(ValidateQlogLine("").ok());
+  EXPECT_FALSE(ValidateQlogLine("not json").ok());
+  EXPECT_FALSE(ValidateQlogLine("[1,2,3]").ok());
+  EXPECT_FALSE(ValidateQlogLine("{}").ok());
+  EXPECT_FALSE(ValidateQlogLine(R"({"schema":"mio-stats-v1"})").ok());
+}
+
+TEST(QlogValidate, RejectsMissingOrWrongTypedFields) {
+  std::string good = QlogRecordToJsonLine(MakeFullRecord());
+  ASSERT_TRUE(ValidateQlogLine(good).ok());
+
+  // Dropping any single required field must fail validation. Fields are
+  // located via their serialized "key":value form.
+  for (const char* needle :
+       {"\"query_index\":41,", "\"wall_seconds\":0.125,",
+        "\"verification\":0.03,", "\"objects\":1200,",
+        "\"outcome\":\"hit_disk\",", "\"complete\":false,",
+        "\"pmu_tier\":\"timing\",", "\"dropped_spans\":11"}) {
+    std::string broken = good;
+    std::size_t pos = broken.find(needle);
+    ASSERT_NE(pos, std::string::npos) << needle;
+    broken.erase(pos, std::string(needle).size());
+    // The erase may leave a syntactically valid document (trailing comma
+    // handling) or not; either way it must not validate.
+    EXPECT_FALSE(ValidateQlogLine(broken).ok()) << "dropped " << needle;
+  }
+
+  // Wrong type: string where a number is required.
+  std::string broken = good;
+  std::size_t pos = broken.find("\"wall_seconds\":0.125");
+  ASSERT_NE(pos, std::string::npos);
+  broken.replace(pos, std::string("\"wall_seconds\":0.125").size(),
+                 "\"wall_seconds\":\"fast\"");
+  EXPECT_FALSE(ValidateQlogLine(broken).ok());
+}
+
+TEST(QlogValidate, RejectsUnknownLabelOutcome) {
+  QlogRecord rec = MakeFullRecord();
+  rec.label_outcome = "banana";
+  EXPECT_FALSE(ValidateQlogLine(QlogRecordToJsonLine(rec)).ok());
+}
+
+// The qlog validator keeps its own copy of the outcome names (the obs
+// layer cannot depend on core); this pins the two lists together.
+TEST(QlogValidate, LabelOutcomeNamesMatchCoreEnum) {
+  for (LabelOutcome o :
+       {LabelOutcome::kOff, LabelOutcome::kHitMemory, LabelOutcome::kHitDisk,
+        LabelOutcome::kMissRecorded, LabelOutcome::kMiss}) {
+    QlogRecord rec;
+    rec.label_outcome = LabelOutcomeName(o);
+    EXPECT_TRUE(ValidateQlogLine(QlogRecordToJsonLine(rec)).ok())
+        << rec.label_outcome;
+  }
+}
+
+TEST(QlogValidate, LabelHitHelperMatchesNames) {
+  QlogRecord rec;
+  rec.label_outcome = "hit_memory";
+  EXPECT_TRUE(rec.LabelHit());
+  rec.label_outcome = "hit_disk";
+  EXPECT_TRUE(rec.LabelHit());
+  for (const char* miss : {"off", "recorded", "miss"}) {
+    rec.label_outcome = miss;
+    EXPECT_FALSE(rec.LabelHit()) << miss;
+  }
+}
+
+// --- JsonValue parser (the read side the qlog is built on) ------------------
+
+TEST(JsonParse, ParsesScalarsAndContainers) {
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(
+      R"({"i":42,"d":-1.5e2,"s":"hi","b":true,"n":null,"a":[1,"two",false]})",
+      &doc));
+  ASSERT_TRUE(doc.IsObject());
+  EXPECT_DOUBLE_EQ(doc.GetDouble("i"), 42.0);
+  EXPECT_EQ(doc.GetUInt("i"), 42u);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("d"), -150.0);
+  EXPECT_EQ(doc.GetString("s"), "hi");
+  EXPECT_TRUE(doc.GetBool("b"));
+  ASSERT_NE(doc.Find("n"), nullptr);
+  EXPECT_TRUE(doc.Find("n")->IsNull());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  ASSERT_EQ(a->elements().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->elements()[0].AsDouble(), 1.0);
+  EXPECT_EQ(a->elements()[1].AsString(), "two");
+  EXPECT_FALSE(a->elements()[2].AsBool(true));
+}
+
+TEST(JsonParse, DecodesEscapesAndSurrogatePairs) {
+  JsonValue doc;
+  ASSERT_TRUE(
+      ParseJson(R"({"s":"q\"b\\s\/n\nt\tué pair😀"})", &doc));
+  // é = é (2-byte UTF-8), 😀 = 😀 (4-byte via surrogates).
+  EXPECT_EQ(doc.GetString("s"), "q\"b\\s/n\nt\tu\xC3\xA9 pair\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, FallbacksOnAbsentOrWrongType) {
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(R"({"s":"text","neg":-3})", &doc));
+  EXPECT_DOUBLE_EQ(doc.GetDouble("missing", 7.5), 7.5);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("s", 7.5), 7.5);
+  EXPECT_EQ(doc.GetUInt("neg", 9), 9u);  // negative cannot be a uint
+  EXPECT_EQ(doc.GetString("missing", "fb"), "fb");
+  EXPECT_TRUE(doc.GetBool("missing", true));
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, ReportsErrors) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":}", &doc, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("{\"a\":1} extra", &doc, &error));
+}
+
+// --- Writer / loader --------------------------------------------------------
+
+TEST_F(QlogFileTest, WriterAppendsAndLoaderRoundTrips) {
+  std::string path = PathFor("run.jsonl");
+  QlogWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.is_open());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    QlogRecord rec = MakeFullRecord();
+    rec.query_index = i;
+    rec.wall_seconds = 0.01 * static_cast<double>(i + 1);
+    ASSERT_TRUE(writer.Append(rec).ok());
+  }
+  EXPECT_EQ(writer.records_written(), 5u);
+  ASSERT_TRUE(writer.Close().ok());
+
+  Result<std::vector<QlogRecord>> loaded = LoadQlogFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(loaded.value()[i].query_index, i);
+  }
+}
+
+TEST_F(QlogFileTest, WriterRefusesInvalidRecord) {
+  QlogWriter writer;
+  ASSERT_TRUE(writer.Open(PathFor("run.jsonl")).ok());
+  QlogRecord rec;
+  rec.label_outcome = "not-an-outcome";
+  EXPECT_FALSE(writer.Append(rec).ok());
+  EXPECT_EQ(writer.records_written(), 0u);
+}
+
+TEST_F(QlogFileTest, AppendWithoutOpenFails) {
+  QlogWriter writer;
+  EXPECT_FALSE(writer.Append(QlogRecord{}).ok());
+}
+
+TEST_F(QlogFileTest, LoaderReportsLineNumberOfBadRecord) {
+  std::string path = PathFor("bad.jsonl");
+  {
+    std::ofstream out(path);
+    out << QlogRecordToJsonLine(MakeFullRecord()) << "\n";
+    out << "{\"schema\":\"mio-qlog-v1\"}\n";  // line 2: missing fields
+  }
+  Result<std::vector<QlogRecord>> loaded = LoadQlogFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_F(QlogFileTest, LoaderSkipsBlankLinesAndMissingFileFails) {
+  std::string path = PathFor("gaps.jsonl");
+  {
+    std::ofstream out(path);
+    out << QlogRecordToJsonLine(MakeFullRecord()) << "\n\n";
+    out << QlogRecordToJsonLine(MakeFullRecord()) << "\n";
+  }
+  Result<std::vector<QlogRecord>> loaded = LoadQlogFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_FALSE(LoadQlogFile(PathFor("nope.jsonl")).ok());
+}
+
+// --- Tail sampler -----------------------------------------------------------
+
+TEST(TailSampler, DisabledExportsNothing) {
+  TailSampler sampler(TailSamplerConfig{});
+  EXPECT_FALSE(sampler.enabled());
+  EXPECT_FALSE(sampler.Offer(0, 10.0).export_trace);
+  EXPECT_TRUE(sampler.TailIndices().empty());
+}
+
+TEST(TailSampler, ThresholdKeepsEveryExceeder) {
+  TailSamplerConfig cfg;
+  cfg.threshold_seconds = 0.1;
+  TailSampler sampler(cfg);
+  EXPECT_FALSE(sampler.Offer(0, 0.05).export_trace);
+  EXPECT_TRUE(sampler.Offer(1, 0.10).export_trace);  // >= threshold
+  EXPECT_TRUE(sampler.Offer(2, 0.50).export_trace);
+  EXPECT_FALSE(sampler.Offer(3, 0.09).export_trace);
+  EXPECT_EQ(sampler.TailIndices(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(TailSampler, SlowestNEvictsFasterMembers) {
+  TailSamplerConfig cfg;
+  cfg.slowest_n = 2;
+  TailSampler sampler(cfg);
+  // Fills: both exported, no evictions.
+  EXPECT_TRUE(sampler.Offer(0, 0.3).export_trace);
+  EXPECT_TRUE(sampler.Offer(1, 0.1).export_trace);
+  // 0.2 displaces 0.1 (index 1).
+  TailSampler::Decision d = sampler.Offer(2, 0.2);
+  EXPECT_TRUE(d.export_trace);
+  EXPECT_EQ(d.evict, (std::vector<std::uint64_t>{1}));
+  // Too fast to join: not exported, nothing evicted.
+  d = sampler.Offer(3, 0.05);
+  EXPECT_FALSE(d.export_trace);
+  EXPECT_TRUE(d.evict.empty());
+  EXPECT_EQ(sampler.TailIndices(), (std::vector<std::uint64_t>{0, 2}));
+}
+
+TEST(TailSampler, TiesKeepTheLaterIndex) {
+  TailSamplerConfig cfg;
+  cfg.slowest_n = 1;
+  TailSampler sampler(cfg);
+  EXPECT_TRUE(sampler.Offer(0, 0.2).export_trace);
+  TailSampler::Decision d = sampler.Offer(1, 0.2);  // tie: later index wins
+  EXPECT_TRUE(d.export_trace);
+  EXPECT_EQ(d.evict, (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(sampler.TailIndices(), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(TailSampler, ThresholdMembersAreNeverEvicted) {
+  TailSamplerConfig cfg;
+  cfg.threshold_seconds = 0.1;
+  cfg.slowest_n = 1;
+  TailSampler sampler(cfg);
+  // Exceeds the threshold AND joins slowest-1.
+  EXPECT_TRUE(sampler.Offer(0, 0.15).export_trace);
+  // Displaces it from slowest-1, but the threshold membership holds: no
+  // eviction of its trace file.
+  TailSampler::Decision d = sampler.Offer(1, 0.2);
+  EXPECT_TRUE(d.export_trace);
+  EXPECT_TRUE(d.evict.empty());
+  EXPECT_EQ(sampler.TailIndices(), (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(TailSampler, FinalSetMatchesOfflineRecomputation) {
+  // The check scripts recompute the tail set from the qlog; this pins the
+  // streaming semantics to the documented offline definition.
+  TailSamplerConfig cfg;
+  cfg.threshold_seconds = 0.45;
+  cfg.slowest_n = 3;
+  TailSampler sampler(cfg);
+  std::vector<double> wall = {0.12, 0.48, 0.03, 0.2, 0.2,
+                              0.46, 0.2,  0.31, 0.02, 0.19};
+  for (std::size_t i = 0; i < wall.size(); ++i) {
+    (void)sampler.Offer(i, wall[i]);
+  }
+  // Offline: threshold-exceeders {1, 5} plus slowest-3 by (wall, index)
+  // descending = {1 (0.48), 5 (0.46), 7 (0.31)}.
+  EXPECT_EQ(sampler.TailIndices(), (std::vector<std::uint64_t>{1, 5, 7}));
+}
+
+TEST(TailSampler, TraceFileNameIsZeroPadded) {
+  EXPECT_EQ(TailTraceFileName(0), "q000000.trace.json");
+  EXPECT_EQ(TailTraceFileName(123), "q000123.trace.json");
+  EXPECT_EQ(TailTraceFileName(1234567), "q1234567.trace.json");
+}
+
+// --- Report -----------------------------------------------------------------
+
+std::vector<QlogRecord> MakeWorkloadRecords() {
+  std::vector<QlogRecord> records;
+  // 20 queries over two ceil(r) classes; wall latency i+1 centiseconds.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    QlogRecord rec;
+    rec.query_index = i;
+    rec.r = i % 2 == 0 ? 3.5 : 7.0;
+    rec.ceil_r = i % 2 == 0 ? 4 : 7;
+    rec.wall_seconds = 0.01 * static_cast<double>(i + 1);
+    rec.phase_grid_mapping = 0.004 * static_cast<double>(i + 1);
+    rec.phase_verification = 0.006 * static_cast<double>(i + 1);
+    rec.label_outcome = i < 2 ? "recorded" : (i % 5 == 0 ? "miss"
+                                              : i % 2 == 0 ? "hit_memory"
+                                                           : "hit_disk");
+    rec.status = i == 19 ? "DeadlineExceeded" : "OK";
+    rec.complete = i != 19;
+    rec.degradation_level = i == 18 ? 1 : 0;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+TEST(QlogReportTest, LatencyPercentilesMatchSharedHelper) {
+  std::vector<QlogRecord> records = MakeWorkloadRecords();
+  QlogReport report = BuildQlogReport(records, 3);
+  std::vector<double> wall;
+  for (const QlogRecord& rec : records) wall.push_back(rec.wall_seconds);
+  EXPECT_DOUBLE_EQ(report.latency.p50, Percentile(wall, 0.50));
+  EXPECT_DOUBLE_EQ(report.latency.p95, Percentile(wall, 0.95));
+  EXPECT_DOUBLE_EQ(report.latency.p99, Percentile(wall, 0.99));
+  EXPECT_DOUBLE_EQ(report.latency.min, 0.01);
+  EXPECT_DOUBLE_EQ(report.latency.max, 0.20);
+  EXPECT_EQ(report.num_queries, 20u);
+  EXPECT_EQ(report.incomplete, 1u);
+  EXPECT_EQ(report.degraded, 1u);
+}
+
+TEST(QlogReportTest, PhaseSharesSumToOne) {
+  QlogReport report = BuildQlogReport(MakeWorkloadRecords(), 3);
+  ASSERT_EQ(report.phases.size(), 5u);
+  double share_sum = 0.0;
+  for (const QlogPhaseAggregate& agg : report.phases) {
+    share_sum += agg.share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-12);
+  // grid_mapping : verification totals were built at a 4:6 ratio.
+  EXPECT_NEAR(report.phases[1].total_seconds / report.phases[4].total_seconds,
+              4.0 / 6.0, 1e-9);
+}
+
+TEST(QlogReportTest, LabelReusePerCeilClass) {
+  QlogReport report = BuildQlogReport(MakeWorkloadRecords(), 3);
+  ASSERT_EQ(report.ceil_classes.size(), 2u);
+  EXPECT_EQ(report.ceil_classes[0].ceil_r, 4);
+  EXPECT_EQ(report.ceil_classes[1].ceil_r, 7);
+  std::uint64_t total = 0, hits = 0, recorded = 0, misses = 0;
+  for (const QlogCeilClassStats& cls : report.ceil_classes) {
+    total += cls.queries;
+    hits += cls.hits;
+    recorded += cls.recorded;
+    misses += cls.misses;
+    EXPECT_GE(cls.HitRate(), 0.0);
+    EXPECT_LE(cls.HitRate(), 1.0);
+  }
+  EXPECT_EQ(total, 20u);
+  // i in {0,1} recorded; i in {5,10,15} miss (i=0 already counted as
+  // recorded); the rest hit.
+  EXPECT_EQ(recorded, 2u);
+  EXPECT_EQ(misses, 3u);
+  EXPECT_EQ(hits, 15u);
+}
+
+TEST(QlogReportTest, SlowestTableIsWallDescending) {
+  QlogReport report = BuildQlogReport(MakeWorkloadRecords(), 4);
+  ASSERT_EQ(report.slowest.size(), 4u);
+  EXPECT_EQ(report.slowest[0].query_index, 19u);
+  EXPECT_EQ(report.slowest[0].status, "DeadlineExceeded");
+  for (std::size_t i = 1; i < report.slowest.size(); ++i) {
+    EXPECT_GE(report.slowest[i - 1].wall_seconds,
+              report.slowest[i].wall_seconds);
+  }
+}
+
+TEST(QlogReportTest, EmptyInputProducesZeroReport) {
+  QlogReport report = BuildQlogReport({}, 5);
+  EXPECT_EQ(report.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(report.latency.p99, 0.0);
+  EXPECT_TRUE(report.slowest.empty());
+  EXPECT_TRUE(report.ceil_classes.empty());
+}
+
+TEST_F(QlogFileTest, ReportJsonIsValidAndResolvesTraceFiles) {
+  QlogReport report = BuildQlogReport(MakeWorkloadRecords(), 2);
+  // Only q19's trace file exists.
+  std::ofstream(PathFor(TailTraceFileName(19))) << "{}";
+  std::string doc = QlogReportToJson(report, dir_.string());
+  std::string error;
+  ASSERT_TRUE(ValidateJson(doc, &error)) << error;
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(doc, &parsed));
+  EXPECT_EQ(parsed.GetString("schema"), "mio-qlog-report-v1");
+  const JsonValue* slowest = parsed.Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_EQ(slowest->elements().size(), 2u);
+  EXPECT_FALSE(slowest->elements()[0].GetString("trace_file").empty());
+  EXPECT_TRUE(slowest->elements()[1].GetString("trace_file").empty());
+
+  std::string text = FormatQlogReport(report, dir_.string());
+  EXPECT_NE(text.find("q19"), std::string::npos);
+  EXPECT_NE(text.find(TailTraceFileName(19)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mio

@@ -8,6 +8,8 @@
 //   mio sweep    --in=birds.bin --r=4,4.2,4.4 --labels=./labels
 //   mio profile  --in=birds.bin --r=4 --warmup=1 --runs=5
 //   mio explain  --in=birds.bin --r=4
+//   mio run-workload --spec=work.spec --in=birds.bin --qlog=run.jsonl
+//   mio qlog report  --in=run.jsonl
 //   mio convert  --in=birds.bin --out=birds.txt
 #include <algorithm>
 #include <cstdio>
@@ -35,8 +37,11 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/qlog.hpp"
 #include "obs/stats_sink.hpp"
 #include "obs/trace.hpp"
+#include "workload/workload_runner.hpp"
+#include "workload/workload_spec.hpp"
 
 namespace {
 
@@ -61,6 +66,16 @@ void Usage() {
       "             the timing fallback)\n"
       "  explain   --in=FILE --r=R [--k=K] [--threads=T] [--labels=DIR]\n"
       "            (one query, human-readable pruning-funnel report)\n"
+      "  run-workload --spec=FILE [--in=FILE] [--qlog=FILE|-] [--labels=DIR]\n"
+      "            [--trace-dir=DIR] [--tail-threshold-ms=MS]\n"
+      "            [--tail-slowest=N] [--verbose]\n"
+      "            (runs the spec's query sequence through one engine:\n"
+      "             one mio-qlog-v1 JSONL record per query; Chrome traces\n"
+      "             are kept only for tail queries)\n"
+      "  qlog report --in=FILE [--slowest=N] [--trace-dir=DIR]\n"
+      "            [--json=FILE|-]\n"
+      "            (aggregates a qlog: p50/p95/p99 latency, per-phase\n"
+      "             totals, label hit rate per ceil(r) class, slowest-N)\n"
       "  convert   --in=FILE --out=FILE [--format=binary|text]\n"
       "  import-swc --dir=DIR --out=FILE      (NeuroMorpho morphologies)\n"
       "  import-csv --in=FILE --out=FILE [--id-col=id --x-col=x --y-col=y]\n"
@@ -510,7 +525,7 @@ int CmdExplain(const mio::ArgParser& args) {
   opt.k = k;
   opt.threads = threads;
   opt.use_labels = opt.record_labels = args.Has("labels");
-  bool had_labels = opt.use_labels && engine.HasLabelsFor(r);
+  mio::obs::ResetMetrics();  // label cache hit/miss counters, this query only
 
   mio::Timer t;
   mio::QueryResult res = engine.Query(r, opt);
@@ -550,9 +565,17 @@ int CmdExplain(const mio::ArgParser& args) {
   std::printf("\nwork: %zu distance computations, cells small/large %zu/%zu\n",
               st.distance_computations, st.cells_small, st.cells_large);
   if (opt.use_labels) {
-    std::printf("labels: %s (%zu points pruned by labels)\n",
-                had_labels ? "reused" : "recorded this run",
-                st.points_pruned_by_labels);
+    mio::obs::MetricsSnapshot m = mio::obs::SnapshotMetrics();
+    std::uint64_t hits = m.counters[static_cast<std::size_t>(
+        mio::obs::Counter::kLabelCacheHits)];
+    std::uint64_t misses = m.counters[static_cast<std::size_t>(
+        mio::obs::Counter::kLabelCacheMisses)];
+    std::printf("labels: %s (%zu points pruned by labels; cache hits %llu, "
+                "misses %llu)\n",
+                mio::LabelOutcomeName(st.label_outcome),
+                st.points_pruned_by_labels,
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
   } else {
     std::printf("labels: off (pass --labels=DIR to record/reuse)\n");
   }
@@ -568,6 +591,109 @@ int CmdExplain(const mio::ArgParser& args) {
               elapsed, st.phases.grid_mapping, st.phases.lower_bounding,
               st.phases.upper_bounding, st.phases.verification);
   return mio::ExitCodeFor(res.status.code());
+}
+
+// --- mio run-workload / mio qlog report -------------------------------------
+
+int CmdRunWorkload(const mio::ArgParser& args) {
+  if (!args.Has("spec")) {
+    std::fprintf(stderr, "run-workload: --spec=FILE is required\n");
+    return 1;
+  }
+  mio::Result<mio::WorkloadSpec> spec_res =
+      mio::LoadWorkloadSpec(args.GetString("spec", ""));
+  if (!spec_res.ok()) return StatusExit(spec_res.status());
+  mio::WorkloadSpec spec = std::move(spec_res).value();
+
+  std::string dataset = args.GetString("in", spec.dataset);
+  if (dataset.empty()) {
+    std::fprintf(stderr,
+                 "run-workload: no dataset (--in=FILE or a `dataset` line "
+                 "in the spec)\n");
+    return 1;
+  }
+  mio::Result<mio::ObjectSet> loaded = LoadAny(dataset);
+  if (!loaded.ok()) return StatusExit(loaded.status());
+  mio::obs::ResetMetrics();
+  mio::MemoryTracker::Instance().Observe("dataset",
+                                         loaded.value().MemoryUsageBytes());
+
+  mio::WorkloadRunOptions opts;
+  opts.dataset_name = dataset;
+  opts.qlog_path = args.GetString("qlog", "");
+  opts.trace_dir = args.GetString("trace-dir", "");
+  opts.tail.threshold_seconds =
+      args.GetDouble("tail-threshold-ms", 0.0) / 1000.0;
+  opts.tail.slowest_n =
+      static_cast<std::size_t>(args.GetInt("tail-slowest", 0));
+  opts.label_dir = args.GetString("labels", "");
+  opts.verbose = args.Has("verbose");
+
+  mio::Result<mio::WorkloadRunSummary> run =
+      mio::RunWorkload(loaded.value(), spec, opts);
+  if (!run.ok()) return StatusExit(run.status());
+  const mio::WorkloadRunSummary& s = run.value();
+
+  std::printf("workload %s: %zu queries in %.3fs (%zu failed, %zu "
+              "incomplete)\n",
+              spec.name.empty() ? "(unnamed)" : spec.name.c_str(), s.queries,
+              s.wall_seconds, s.failed, s.incomplete);
+  if (!opts.qlog_path.empty() && opts.qlog_path != "-") {
+    std::printf("qlog: %s (%zu records)\n", opts.qlog_path.c_str(),
+                s.qlog_records);
+  }
+  if (opts.tail.enabled()) {
+    std::printf("tail: %zu queries", s.tail_indices.size());
+    if (!opts.trace_dir.empty()) {
+      std::printf(", %zu traces in %s (%zu evicted)", s.traces_written,
+                  opts.trace_dir.c_str(), s.traces_evicted);
+    }
+    std::printf("\n");
+  }
+  mio::obs::MetricsSnapshot m = mio::obs::SnapshotMetrics();
+  std::uint64_t hits = m.counters[static_cast<std::size_t>(
+      mio::obs::Counter::kLabelCacheHits)];
+  std::uint64_t misses = m.counters[static_cast<std::size_t>(
+      mio::obs::Counter::kLabelCacheMisses)];
+  if (hits + misses > 0) {
+    std::printf("labels: %llu cache hits, %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses));
+  }
+  return 0;
+}
+
+int CmdQlogReport(const mio::ArgParser& args) {
+  if (!args.Has("in")) {
+    std::fprintf(stderr, "qlog report: --in=FILE is required\n");
+    return 1;
+  }
+  mio::Result<std::vector<mio::obs::QlogRecord>> records =
+      mio::obs::LoadQlogFile(args.GetString("in", ""));
+  if (!records.ok()) return StatusExit(records.status());
+  std::size_t slowest_n =
+      static_cast<std::size_t>(args.GetInt("slowest", 5));
+  std::string trace_dir = args.GetString("trace-dir", "");
+  mio::obs::QlogReport report =
+      mio::obs::BuildQlogReport(records.value(), slowest_n);
+  if (args.Has("json")) {
+    std::string doc = mio::obs::QlogReportToJson(report, trace_dir);
+    std::string error;
+    if (!mio::obs::ValidateJson(doc, &error)) {
+      std::fprintf(stderr, "internal error: report JSON invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::string out = args.GetString("json", "-");
+    mio::Status st = mio::obs::WriteTextFile(out, doc + "\n");
+    if (!st.ok()) return StatusExit(st);
+    if (out != "-") std::printf("report: %s\n", out.c_str());
+  } else {
+    std::fputs(mio::obs::FormatQlogReport(report, trace_dir).c_str(), stdout);
+  }
+  return 0;
 }
 
 int CmdConvert(const mio::ArgParser& args) {
@@ -629,6 +755,14 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return CmdSweep(args);
   if (cmd == "profile") return CmdProfile(args);
   if (cmd == "explain") return CmdExplain(args);
+  if (cmd == "run-workload") return CmdRunWorkload(args);
+  if (cmd == "qlog") {
+    if (argc >= 3 && std::string(argv[2]) == "report") {
+      return CmdQlogReport(mio::ArgParser(argc - 2, argv + 2));
+    }
+    std::fprintf(stderr, "usage: mio qlog report --in=FILE\n");
+    return 1;
+  }
   if (cmd == "convert") return CmdConvert(args);
   if (cmd == "import-swc") return CmdImportSwc(args);
   if (cmd == "import-csv") return CmdImportCsv(args);
