@@ -227,3 +227,9 @@ print(f"  ok: 102 records valid, tail={sorted(tail)} matches trace dir, "
 PYEOF
 
 echo "check_qlog: all passes clean"
+
+# The batch-execution gate (QueryBatch vs sequential differential under
+# sanitizers) rides along unless explicitly skipped.
+if [ "${MIO_SKIP_BATCH:-0}" != "1" ]; then
+  "$SRC/scripts/check_batch.sh" "${BUILD%-qlog}-batch"
+fi

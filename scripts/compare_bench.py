@@ -93,6 +93,27 @@ def key_str(key):
     return s + (f" [{scale}]" if scale else "")
 
 
+def batch_speedups(records):
+    """Derived metric for bench_batch records: sequential wall / batch wall
+    per (dataset, r, k, threads, scale). The paired algo=sequential and
+    algo=batch records measure the same query mix, so their ratio is the
+    batch throughput speedup."""
+    walls = {}
+    for key, docs in records.items():
+        bench, dataset, algo, r, k, threads, scale = key
+        if bench != "batch" or algo not in ("sequential", "batch"):
+            continue
+        wall = median_metric(docs, "total_seconds")
+        if wall is not None:
+            walls[(dataset, r, k, threads, scale)] = dict(
+                walls.get((dataset, r, k, threads, scale), {}), **{algo: wall})
+    out = {}
+    for subkey, pair in walls.items():
+        if "sequential" in pair and "batch" in pair and pair["batch"] > 0:
+            out[subkey] = pair["sequential"] / pair["batch"]
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -140,6 +161,28 @@ def main():
                 print("improved   " + line)
         elif args.verbose:
             print("ok         " + line)
+
+    # Batch throughput: a derived ratio, not a raw timing, so it is
+    # reported per file and regression-checked directly (a candidate whose
+    # batch speedup collapses can slip past the per-record timing check
+    # when both algos sped up or slowed down together).
+    base_speedup = batch_speedups(base)
+    cand_speedup = batch_speedups(cand)
+    for subkey in sorted(set(base_speedup) & set(cand_speedup)):
+        dataset, r, k, threads, scale = subkey
+        b, c = base_speedup[subkey], cand_speedup[subkey]
+        line = (f"batch speedup {dataset} t={threads}"
+                + (f" [{scale}]" if scale else "")
+                + f": {b:.2f}x -> {c:.2f}x")
+        if c < b * (1.0 - args.threshold):
+            regressions.append(line)
+        else:
+            print(line)
+    for subkey in sorted(set(cand_speedup) - set(base_speedup)):
+        dataset, r, k, threads, scale = subkey
+        print(f"batch speedup {dataset} t={threads}"
+              + (f" [{scale}]" if scale else "")
+              + f": {cand_speedup[subkey]:.2f}x (new)")
 
     only_base = len(base) - len(common)
     only_cand = len(cand) - len(common)

@@ -83,6 +83,10 @@ run() { # run <binary> <flags...>
 
 run bench_table2_breakdown
 run bench_fig9_parallel --t=1,2
+# Batch-vs-sequential throughput (30-query mixed-ceil(r) workload): emits
+# paired algo=sequential / algo=batch records per dataset, from which
+# compare_bench.py derives and tracks the batch speedup.
+run bench_batch --queries=30
 
 # Canonical workload: per-query latency records (mio-qlog-v1) from the
 # CLI's workload runner, appended alongside the harness records so

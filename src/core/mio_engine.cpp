@@ -98,6 +98,11 @@ void FinalizeTripped(const QueryGuard& guard, const LowerBoundResult& lb,
 }  // namespace
 
 QueryResult MioEngine::Query(double r, const QueryOptions& options) {
+  return RunPipeline(r, options, nullptr);
+}
+
+QueryResult MioEngine::RunPipeline(double r, const QueryOptions& options,
+                                   const PipelineContext* ctx) {
   MIO_TRACE_SPAN_CAT("query", "query");
   QueryResult res;
   if (objects_.empty() || r <= 0.0) return res;
@@ -117,17 +122,25 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   Timer total_timer;
 
   // --- Label lookup (BIGrid-label: Label-Input row of Table II) ---------
+  // A batch context carries the class-hoisted lookup result, so members
+  // after the first skip the probe entirely.
   const int ceil_r = static_cast<int>(LargeGridWidth(r));
   const LabelSet* use_labels = nullptr;
   if (options.use_labels) {
-    MIO_TRACE_SPAN_CAT("label_input", "query");
-    obs::PmuPhaseScope pmu(&stats.hardware.label_input);
-    use_labels =
-        LookupLabels(ceil_r, &stats.phases.label_input, &stats.label_outcome);
+    if (ctx != nullptr && ctx->labels_resolved) {
+      use_labels = ctx->labels;
+      stats.label_outcome = ctx->label_outcome;
+    } else {
+      MIO_TRACE_SPAN_CAT("label_input", "query");
+      obs::PmuPhaseScope pmu(&stats.hardware.label_input);
+      use_labels =
+          LookupLabels(ceil_r, &stats.phases.label_input, &stats.label_outcome);
+    }
   }
   LabelSet recorded;
   LabelSet* record_labels = nullptr;
-  if (options.record_labels && use_labels == nullptr) {
+  if (options.record_labels && use_labels == nullptr &&
+      (ctx == nullptr || ctx->allow_record)) {
     recorded = LabelSet::MakeAllOnes(objects_);
     recorded.recorded_r = r;
     record_labels = &recorded;
@@ -143,19 +156,27 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   // a cached large grid for this ceiling (complete, with memoised b_adj)
   // is adopted and only the small grid is mapped.
   std::shared_ptr<LargeGridData> reuse;
-  if (options.reuse_grid) {
+  if (ctx != nullptr && ctx->shared_grid != nullptr) {
+    reuse = ctx->shared_grid;  // class grid pinned by the batch
+  } else if (options.reuse_grid) {
     auto it = grid_cache_.find(ceil_r);
     if (it != grid_cache_.end()) reuse = it->second;
   }
+  // A batch's class grid must be complete (shareable with every sibling,
+  // labelled or not), so its build ignores label pruning — exactly the
+  // grid a cache hit would have supplied. The LB/UB/verification label
+  // filters are unaffected and still prune per point.
+  const LabelSet* grid_labels =
+      ctx != nullptr && ctx->build_complete_grid ? nullptr : use_labels;
   BiGrid grid(objects_, r, planar_, std::move(reuse));
   {
     MIO_TRACE_SPAN_CAT("grid_mapping", "query");
     ScopedAccumulator acc(&stats.phases.grid_mapping);
     obs::PmuPhaseScope pmu(&stats.hardware.grid_mapping);
     if (parallel) {
-      grid.BuildParallel(threads, use_labels, /*build_groups=*/true, &guard);
+      grid.BuildParallel(threads, grid_labels, /*build_groups=*/true, &guard);
     } else {
-      grid.Build(use_labels, /*build_groups=*/false, &guard);
+      grid.Build(grid_labels, /*build_groups=*/false, &guard);
     }
   }
   stats.reused_grid = grid.reused_large_grid();
@@ -170,7 +191,8 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   // degradation ladder may shed them (with use_verify_bit — the kVerify
   // bit is only sound on top of the lower-bound seed).
   bool keep_lb_bitsets = use_labels != nullptr;
-  bool cache_this_grid = options.reuse_grid && grid.large_grid_complete();
+  bool cache_this_grid = (options.reuse_grid || ctx != nullptr) &&
+                         grid.large_grid_complete();
 
   // --- Memory-budget degradation (docs/ROBUSTNESS.md) ---------------------
   // Project this query's footprint against the budget and shed optional
@@ -211,6 +233,13 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
   if (cache_this_grid && !guard.tripped()) {
     grid_cache_[ceil_r] = grid.ShareLargeGrid();
   }
+  // Hand the class grid back to the batch loop. A tripped member leaves
+  // grid_out empty, so the next member of the class builds afresh —
+  // guardrail isolation: one degrading member never poisons siblings.
+  if (ctx != nullptr && ctx->grid_out != nullptr &&
+      grid.large_grid_complete() && !guard.tripped()) {
+    *ctx->grid_out = grid.ShareLargeGrid();
+  }
 
   // --- LOWER-BOUNDING(O, r) ----------------------------------------------
   LowerBoundResult lb;
@@ -246,13 +275,14 @@ QueryResult MioEngine::Query(double r, const QueryOptions& options) {
     obs::PmuPhaseScope pmu(&stats.hardware.verification);
     const std::vector<Ewah>* lb_bits =
         keep_lb_bitsets ? &lb.lb_bitsets : nullptr;
+    VerifyArena* arena = ctx != nullptr ? ctx->arena : nullptr;
     res.topk =
         parallel
             ? ParallelVerification(grid, ub, k, threads, use_labels,
                                    record_labels, lb_bits, &stats,
-                                   use_verify_bit, &guard)
+                                   use_verify_bit, &guard, arena)
             : Verification(grid, ub, k, use_labels, record_labels, lb_bits,
-                           &stats, use_verify_bit, &guard);
+                           &stats, use_verify_bit, &guard, arena);
   }
 
   // --- Post-processing: label output (§III-D) -----------------------------

@@ -21,7 +21,9 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "core/batch.hpp"
 #include "core/bigrid.hpp"
 #include "core/options.hpp"
 #include "core/query_result.hpp"
@@ -29,6 +31,8 @@
 #include "object/object_set.hpp"
 
 namespace mio {
+
+class VerifyArena;  // core/verification.hpp
 
 /// Query processor over one (static, memory-resident) object collection.
 class MioEngine {
@@ -42,6 +46,15 @@ class MioEngine {
   /// Runs one MIO query with threshold r > 0.
   QueryResult Query(double r, const QueryOptions& options = {});
 
+  /// Runs a batch of queries, amortising work across members that share
+  /// a ceil(r) class: one large-grid build, one label lookup, a shared
+  /// two-level posting layout, and one verification arena per class (see
+  /// core/batch.hpp). Results are parallel to `queries` and bit-identical
+  /// to calling Query per member. Per-member guardrails still apply; a
+  /// degrading member cannot poison its siblings.
+  BatchResult QueryBatch(const std::vector<BatchQuery>& queries,
+                         const BatchOptions& options = {});
+
   /// True if labels for ceil(r) are available (cache or disk).
   bool HasLabelsFor(double r) const;
 
@@ -49,6 +62,16 @@ class MioEngine {
   void ClearLabels();
 
   /// Drops cached large grids (the reuse_grid cache).
+  ///
+  /// Lifetime contract: the cache stores shared_ptr<LargeGridData>, and
+  /// every consumer — a Query that adopted a cached grid, a QueryBatch
+  /// class pinning its grid across members — holds its own shared_ptr
+  /// for as long as it reads the grid. Clearing therefore only drops the
+  /// cache's reference: a grid still held by an in-flight query or batch
+  /// class stays alive until its last reader releases it, so a mid-batch
+  /// clear (including the one issued by the memory-budget degradation
+  /// ladder's drop_grid_cache step) can never dangle — it only forces
+  /// later lookups to rebuild.
   void ClearGridCache() { grid_cache_.clear(); }
 
   const ObjectSet& objects() const { return objects_; }
@@ -58,6 +81,43 @@ class MioEngine {
   bool planar() const { return planar_; }
 
  private:
+  /// Batch-supplied context for one pipeline run: the hoisted per-class
+  /// state QueryBatch threads through its members so class-wide work is
+  /// not redone per query. Null fields fall back to the single-query
+  /// behaviour.
+  struct PipelineContext {
+    /// Class grid to adopt (overrides the grid_cache_ lookup). Held by
+    /// the caller for the whole class — see ClearGridCache's contract.
+    std::shared_ptr<LargeGridData> shared_grid;
+
+    /// Build the large grid from every point even when labels are in
+    /// use, so the resulting grid is complete and shareable with
+    /// label-free siblings (the same grid a cache hit would supply).
+    bool build_complete_grid = false;
+
+    /// When true, `labels`/`label_outcome` replace the per-query
+    /// LookupLabels probe (the class-hoisted lookup).
+    bool labels_resolved = false;
+    const LabelSet* labels = nullptr;
+    LabelOutcome label_outcome = LabelOutcome::kOff;
+
+    /// False suppresses label recording (only one member per class
+    /// records; its siblings replay the freshly recorded set).
+    bool allow_record = true;
+
+    /// Shared verification scratch, allocated once per class.
+    VerifyArena* arena = nullptr;
+
+    /// When non-null, receives the built (complete, untripped) large
+    /// grid so the caller can share it with the remaining members.
+    std::shared_ptr<LargeGridData>* grid_out = nullptr;
+  };
+
+  /// The Algorithm-2 pipeline behind Query and QueryBatch. `ctx` (null
+  /// for single queries) supplies batch-hoisted state.
+  QueryResult RunPipeline(double r, const QueryOptions& options,
+                          const PipelineContext* ctx);
+
   /// Looks up reusable labels for `ceil_r` and classifies the result
   /// (memory hit / disk hit / miss) into `*outcome`, bumping the
   /// labels.cache_hits / labels.cache_misses counters. A miss is later

@@ -397,7 +397,7 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
                                  const LabelSet* use_labels,
                                  LabelSet* record_labels, const Ewah* lb_bitset,
                                  QueryStats* stats, bool use_verify_bit,
-                                 QueryGuard* guard) {
+                                 QueryGuard* guard, VerifyArena* arena) {
   const std::vector<PointGroup>& groups = grid.LargeGroups(i);
   const std::size_t n = grid.objects().size();
 
@@ -457,7 +457,18 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
   // Phase 4: per-core scans with private accumulators. PMU capture is
   // per candidate (this function runs once per verified object): two
   // group reads per worker per candidate, paid only on the hardware tier.
-  std::vector<PlainBitset> accs(threads);
+  // With an arena the per-core bitsets come from its slots (allocated
+  // once per batch class); copy-assigning the seed reuses their capacity.
+  std::vector<PlainBitset> local_accs;
+  if (arena != nullptr) {
+    arena->PrepareThreads(threads);
+  } else {
+    local_accs.resize(static_cast<std::size_t>(threads));
+  }
+  auto acc_of = [&](int t) -> PlainBitset& {
+    return arena != nullptr ? arena->slots[static_cast<std::size_t>(t)].acc
+                            : local_accs[static_cast<std::size_t>(t)];
+  };
   std::vector<std::size_t> comps(threads, 0);
   std::vector<double> seconds(threads, 0.0);
   WorkerPmuCapture pmu(threads);
@@ -467,8 +478,12 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
     Timer worker_timer;
     int t = ThreadId();
     pmu.Enter(t);
-    accs[t] = seed;
-    PlainBitset b_scratch;  // per-core candidate-set scratch
+    PlainBitset& acc = acc_of(t);
+    acc = seed;
+    PlainBitset local_scratch;  // per-core candidate-set scratch
+    PlainBitset& b_scratch =
+        arena != nullptr ? arena->slots[static_cast<std::size_t>(t)].scratch
+                         : local_scratch;
     std::size_t done = 0;
     for (const auto& [g, j] : tasks[t]) {
       if (guard != nullptr && (done++ % kGuardStridePoints) == 0 &&
@@ -480,14 +495,14 @@ std::uint32_t ParallelExactScore(BiGrid& grid, ObjectId i, int threads,
         if ((l & label::kMap) == 0) continue;
         if (use_verify_bit && (l & label::kVerify) == 0) continue;
       }
-      VerifyPoint(grid, i, j, &accs[t], &b_scratch, record_labels, &comps[t]);
+      VerifyPoint(grid, i, j, &acc, &b_scratch, record_labels, &comps[t]);
     }
     seconds[static_cast<std::size_t>(t)] = worker_timer.ElapsedSeconds();
     pmu.Leave(t);
   }
 
-  PlainBitset merged = std::move(accs[0]);
-  for (int t = 1; t < threads; ++t) merged.OrWith(accs[t]);
+  PlainBitset& merged = acc_of(0);
+  for (int t = 1; t < threads; ++t) merged.OrWith(acc_of(t));
   if (stats != nullptr) pmu.FoldInto(&stats->hardware.verification);
   if (stats != nullptr) {
     for (int t = 0; t < threads; ++t) {
@@ -506,11 +521,11 @@ std::vector<ScoredObject> ParallelVerification(
     BiGrid& grid, const UpperBoundResult& ub, std::size_t k, int threads,
     const LabelSet* use_labels, LabelSet* record_labels,
     const std::vector<Ewah>* lb_bitsets, QueryStats* stats,
-    bool use_verify_bit, QueryGuard* guard) {
+    bool use_verify_bit, QueryGuard* guard, VerifyArena* arena) {
   threads = ResolveThreads(threads);
   if (threads <= 1 || !grid.has_groups()) {
     return Verification(grid, ub, k, use_labels, record_labels, lb_bitsets,
-                        stats, use_verify_bit, guard);
+                        stats, use_verify_bit, guard, arena);
   }
   TopKTracker tracker(k);
   if (stats != nullptr) {
@@ -524,7 +539,7 @@ std::vector<ScoredObject> ParallelVerification(
     std::uint32_t score =
         ParallelExactScore(grid, i, threads, use_labels, record_labels,
                            lb_bitsets != nullptr ? &(*lb_bitsets)[i] : nullptr,
-                           stats, use_verify_bit, guard);
+                           stats, use_verify_bit, guard, arena);
     if (guard != nullptr && guard->tripped()) break;  // partial: discard
     if (stats != nullptr) ++stats->num_verified;
     tracker.Offer(i, score);

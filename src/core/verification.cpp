@@ -91,14 +91,14 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
 
   std::size_t comps = 0;
   std::size_t postings = 0;
+  std::size_t octants_pruned = 0;
   // Scan the cell itself, then its neighbours, stopping as soon as no
   // candidate remains near p. Postings are only touched for set bits of
   // b (Algorithm 6 line 13); each touched posting is one batch-kernel
   // call over its contiguous SoA coordinates.
-  auto scan_cell = [&](const CellKey& ck) -> bool {  // false = stop
-    const LargeCell* c = grid.FindLarge(ck);
-    if (c == nullptr) return true;
-    for (std::size_t oi = 0; oi < c->post_obj.size(); ++oi) {
+  auto scan_runs = [&](const LargeCell* c, std::size_t run_begin,
+                       std::size_t run_end) -> bool {  // false = stop
+    for (std::size_t oi = run_begin; oi < run_end; ++oi) {
       ObjectId obj = c->post_obj[oi];
       if (!b.Test(obj)) continue;
       ++postings;
@@ -116,6 +116,27 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
     }
     return true;
   };
+  auto scan_cell = [&](const CellKey& ck) -> bool {  // false = stop
+    const LargeCell* c = grid.FindLarge(ck);
+    if (c == nullptr) return true;
+    if (!c->partitioned()) return scan_runs(c, 0, c->post_obj.size());
+    // Two-level layout: visit only octants whose point box can reach p.
+    // Pruned octants provably hold no point within r (the boxes are tight
+    // over the points), so the confirmed set — and the exact score — is
+    // identical to the flat scan.
+    for (int o = 0; o < 8; ++o) {
+      const std::size_t run_begin = c->part_runs[static_cast<std::size_t>(o)];
+      const std::size_t run_end =
+          c->part_runs[static_cast<std::size_t>(o) + 1];
+      if (run_begin == run_end) continue;
+      if (MinDist2ToOctantBox(p, c->part_box.data(), o) > r2) {
+        ++octants_pruned;
+        continue;
+      }
+      if (!scan_runs(c, run_begin, run_end)) return false;
+    }
+    return true;
+  };
 
   if (scan_cell(key)) {
     bool stop = false;
@@ -124,20 +145,31 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
     });
   }
   obs::Add(obs::Counter::kPostingScans, postings);
+  if (octants_pruned > 0) {
+    obs::Add(obs::Counter::kVerifyOctantsPruned, octants_pruned);
+  }
   if (dist_comps != nullptr) *dist_comps += comps;
 }
 
 std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
                          LabelSet* record_labels, const Ewah* lb_bitset,
                          std::size_t* dist_comps, bool use_verify_bit,
-                         PlainBitset* b_scratch, QueryGuard* guard) {
+                         PlainBitset* b_scratch, QueryGuard* guard,
+                         PlainBitset* acc_scratch) {
   const Object& o = grid.objects()[i];
 
   // b(o_i): confirmed interaction partners (plus bit i). With labels it is
   // seeded from the lower-bound union — those objects are certain partners
-  // (Lemma 1), so no posting scan needs to rediscover them.
-  PlainBitset acc =
-      lb_bitset != nullptr ? lb_bitset->ToPlain() : PlainBitset();
+  // (Lemma 1), so no posting scan needs to rediscover them. The seed fully
+  // overwrites `acc_scratch` (DecodeInto resets first), so arena reuse
+  // across candidates is safe.
+  PlainBitset local_acc;
+  PlainBitset& acc = acc_scratch != nullptr ? *acc_scratch : local_acc;
+  if (lb_bitset != nullptr) {
+    lb_bitset->DecodeInto(&acc);
+  } else {
+    acc.Reset();
+  }
   acc.Set(i);
 
   PlainBitset local_scratch;
@@ -175,9 +207,12 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
                                        const std::vector<Ewah>* lb_bitsets,
                                        QueryStats* stats,
                                        bool use_verify_bit,
-                                       QueryGuard* guard) {
+                                       QueryGuard* guard,
+                                       VerifyArena* arena) {
   TopKTracker tracker(k);
-  PlainBitset b_scratch;  // reused across every verified point
+  PlainBitset local_scratch;  // reused across every verified point
+  PlainBitset* b_scratch = arena != nullptr ? &arena->scratch : &local_scratch;
+  PlainBitset* acc_scratch = arena != nullptr ? &arena->acc : nullptr;
   for (ObjectId i : ub.candidates) {
     // Early termination (Corollary 1): the queue is sorted by descending
     // upper bound, so once the front cannot beat the k-th best exact
@@ -190,7 +225,7 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
     std::uint32_t score = ExactScore(
         grid, i, use_labels, record_labels, lb,
         stats != nullptr ? &stats->distance_computations : nullptr,
-        use_verify_bit, &b_scratch, guard);
+        use_verify_bit, b_scratch, guard, acc_scratch);
     if (guard != nullptr && guard->tripped()) break;  // partial: discard
     if (stats != nullptr) ++stats->num_verified;
     tracker.Offer(i, score);

@@ -20,6 +20,42 @@ namespace mio {
 
 class QueryGuard;  // common/guardrails.hpp
 
+/// Reusable verification scratch. A single query allocates its scratch
+/// bitsets lazily inside the verification loop; a batch hands one arena
+/// to every member of a ceil(r) class so the bitsets are allocated once
+/// per class instead of once per query (PlainBitset never shrinks, so
+/// steady state is allocation-free). HighWaterBytes feeds the
+/// batch.arena_high_water_bytes histogram.
+class VerifyArena {
+ public:
+  PlainBitset acc;      ///< serial-path accumulator b(o_i)
+  PlainBitset scratch;  ///< serial-path candidate-set decode scratch
+
+  /// Per-core scratch for the parallel verification path.
+  struct Slot {
+    PlainBitset acc;
+    PlainBitset scratch;
+  };
+  std::vector<Slot> slots;
+
+  /// Grows `slots` to cover `threads` entries (existing capacity kept).
+  void PrepareThreads(int threads) {
+    if (slots.size() < static_cast<std::size_t>(threads)) {
+      slots.resize(static_cast<std::size_t>(threads));
+    }
+  }
+
+  /// Bytes currently held across every bitset — monotone over the arena's
+  /// lifetime, so reading it after a batch gives the high-water mark.
+  std::size_t HighWaterBytes() const {
+    std::size_t bytes = acc.MemoryUsageBytes() + scratch.MemoryUsageBytes();
+    for (const Slot& s : slots) {
+      bytes += s.acc.MemoryUsageBytes() + s.scratch.MemoryUsageBytes();
+    }
+    return bytes;
+  }
+};
+
 /// Processes one point of object i during exact scoring: computes the
 /// unconfirmed-candidate set b = b_adj - acc, performs Labeling-3 when
 /// recording, and scans the 27-cell neighbourhood's postings, folding
@@ -40,21 +76,27 @@ void VerifyPoint(BiGrid& grid, ObjectId i, std::size_t point_idx,
 /// seeds the accumulator with the lower-bound union; `dist_comps`
 /// accumulates distance evaluations. `b_scratch` (optional) is reused
 /// scratch for VerifyPoint's candidate set; pass one bitset across many
-/// ExactScore calls to keep verification allocation-free. `guard`
-/// (optional) is polled every kGuardStridePoints points; once tripped the
-/// scan stops and the returned score is PARTIAL (a valid lower bound of
-/// the true score, but not exact) — callers must discard it.
+/// ExactScore calls to keep verification allocation-free. `acc_scratch`
+/// (optional) is reused storage for the accumulator itself — the lb seed
+/// is decoded over it wholesale, so a stale value cannot leak between
+/// candidates. `guard` (optional) is polled every kGuardStridePoints
+/// points; once tripped the scan stops and the returned score is PARTIAL
+/// (a valid lower bound of the true score, but not exact) — callers must
+/// discard it.
 std::uint32_t ExactScore(BiGrid& grid, ObjectId i, const LabelSet* use_labels,
                          LabelSet* record_labels, const Ewah* lb_bitset,
                          std::size_t* dist_comps, bool use_verify_bit = true,
                          PlainBitset* b_scratch = nullptr,
-                         QueryGuard* guard = nullptr);
+                         QueryGuard* guard = nullptr,
+                         PlainBitset* acc_scratch = nullptr);
 
 /// Best-first verification of the candidate queue; returns the top-k
 /// objects by exact score, descending. `guard` (optional): on a trip the
 /// in-flight candidate's partial score is discarded and the loop stops —
 /// scores already offered to the tracker stay exact, so the returned
-/// (possibly short) list is a sound best-so-far answer.
+/// (possibly short) list is a sound best-so-far answer. `arena`
+/// (optional) supplies the accumulator/scratch bitsets; null keeps the
+/// query-local scratch of the single-query path.
 std::vector<ScoredObject> Verification(BiGrid& grid,
                                        const UpperBoundResult& ub,
                                        std::size_t k,
@@ -63,7 +105,8 @@ std::vector<ScoredObject> Verification(BiGrid& grid,
                                        const std::vector<Ewah>* lb_bitsets,
                                        QueryStats* stats,
                                        bool use_verify_bit = true,
-                                       QueryGuard* guard = nullptr);
+                                       QueryGuard* guard = nullptr,
+                                       VerifyArena* arena = nullptr);
 
 /// Maintains the k best exact scores seen so far and the resulting
 /// termination threshold (shared by serial and parallel verification).

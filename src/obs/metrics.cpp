@@ -142,6 +142,18 @@ const char* CounterName(Counter c) {
       return "labels.cache_misses";
     case Counter::kTraceDroppedSpans:
       return "trace.dropped_spans";
+    case Counter::kVerifyOctantsPruned:
+      return "verify_octants_pruned";
+    case Counter::kBatchQueries:
+      return "batch.queries";
+    case Counter::kBatchClasses:
+      return "batch.classes";
+    case Counter::kBatchGridBuildsSaved:
+      return "batch.grid_builds_saved";
+    case Counter::kBatchPostingsBytesShared:
+      return "batch.postings_bytes_shared";
+    case Counter::kBatchCellsPartitioned:
+      return "batch.cells_partitioned";
     case Counter::kCount_:
       break;
   }
@@ -162,6 +174,8 @@ const char* HistogramName(Histogram h) {
       return "verify_cands_per_point";
     case Histogram::kKernelBatchSize:
       return "kernel_batch_size";
+    case Histogram::kBatchArenaHighWater:
+      return "batch.arena_high_water_bytes";
     case Histogram::kCount_:
       break;
   }

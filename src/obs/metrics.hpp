@@ -41,6 +41,12 @@ enum class Counter : int {
   kLabelCacheHits,          ///< label lookups served from cache or disk
   kLabelCacheMisses,        ///< label lookups with nothing reusable
   kTraceDroppedSpans,       ///< spans overwritten by tracer ring overflow
+  kVerifyOctantsPruned,     ///< two-level octants skipped by the box prune
+  kBatchQueries,            ///< queries submitted through QueryBatch
+  kBatchClasses,            ///< distinct ceil(r) classes across batches
+  kBatchGridBuildsSaved,    ///< batch members that reused a class grid
+  kBatchPostingsBytesShared,  ///< posting bytes served from a shared grid
+  kBatchCellsPartitioned,   ///< cells rewritten into the two-level layout
   kCount_
 };
 
@@ -52,6 +58,7 @@ enum class Histogram : int {
   kUbUnionBits,           ///< upper-bound union cardinality per object
   kVerifyCandsPerPoint,   ///< unconfirmed candidates per verified point
   kKernelBatchSize,       ///< span length per dispatched kernel call
+  kBatchArenaHighWater,   ///< verify-arena high-water bytes per batch
   kCount_
 };
 

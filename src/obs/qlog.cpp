@@ -161,6 +161,17 @@ Status CheckQlogDocument(const JsonValue& doc) {
   Result<const JsonValue*> trace = RequireObject(doc, "trace");
   MIO_RETURN_NOT_OK(trace.status());
   MIO_RETURN_NOT_OK(RequireNumber(*trace.value(), "trace", "dropped_spans"));
+
+  // The "batch" section is optional (absent on sequential queries) but
+  // must be well-formed when present.
+  const JsonValue* batch = doc.Find("batch");
+  if (batch != nullptr) {
+    if (!batch->IsObject()) {
+      return Status::InvalidArgument("qlog: wrong-typed section batch");
+    }
+    MIO_RETURN_NOT_OK(RequireNumber(*batch, "batch", "id"));
+    MIO_RETURN_NOT_OK(RequireNumber(*batch, "batch", "size"));
+  }
   return Status::OK();
 }
 
@@ -221,6 +232,12 @@ std::string QlogRecordToJsonLine(const QlogRecord& rec) {
   w.Key("trace").BeginObject();
   w.Key("dropped_spans").UInt(rec.trace_dropped_spans);
   w.EndObject();
+  if (rec.batch_size > 0) {
+    w.Key("batch").BeginObject();
+    w.Key("id").UInt(rec.batch_id);
+    w.Key("size").UInt(rec.batch_size);
+    w.EndObject();
+  }
   w.EndObject();
   return std::move(w).Take();
 }
@@ -280,6 +297,10 @@ Status ParseQlogRecord(std::string_view line, QlogRecord* out) {
   rec.index_memory_bytes = memory->GetUInt("index_bytes");
   rec.peak_memory_bytes = memory->GetUInt("peak_bytes");
   rec.trace_dropped_spans = doc.Find("trace")->GetUInt("dropped_spans");
+  if (const JsonValue* batch = doc.Find("batch")) {
+    rec.batch_id = batch->GetUInt("id");
+    rec.batch_size = batch->GetUInt("size");
+  }
   *out = std::move(rec);
   return Status::OK();
 }
@@ -451,10 +472,17 @@ QlogReport BuildQlogReport(const std::vector<QlogRecord>& records,
 
   std::vector<double> wall;
   wall.reserve(records.size());
+  std::vector<double> batched_wall;
+  std::vector<double> sequential_wall;
   std::vector<std::vector<double>> phase_values(5);
   std::map<int, QlogCeilClassStats> classes;
   for (const QlogRecord& rec : records) {
     wall.push_back(rec.wall_seconds);
+    if (rec.Batched()) {
+      batched_wall.push_back(rec.wall_seconds);
+    } else {
+      sequential_wall.push_back(rec.wall_seconds);
+    }
     if (!rec.complete) ++report.incomplete;
     if (rec.degradation_level > 0) ++report.degraded;
     for (std::size_t i = 0; i < 5; ++i) {
@@ -472,6 +500,9 @@ QlogReport BuildQlogReport(const std::vector<QlogRecord>& records,
     }
   }
   report.latency = SummarizeLatency(wall);
+  report.batched_queries = batched_wall.size();
+  report.batched_latency = SummarizeLatency(std::move(batched_wall));
+  report.sequential_latency = SummarizeLatency(std::move(sequential_wall));
 
   double phase_sum = 0.0;
   for (std::size_t i = 0; i < 5; ++i) {
@@ -535,6 +566,20 @@ std::string QlogReportToJson(const QlogReport& report,
   w.Key("p99").Double(report.latency.p99);
   w.Key("sum").Double(report.latency.sum);
   w.EndObject();
+  w.Key("batched_queries").UInt(report.batched_queries);
+  if (report.batched_queries > 0) {
+    auto emit_split = [&](const char* key, const QlogLatencySummary& s) {
+      w.Key(key).BeginObject();
+      w.Key("p50").Double(s.p50);
+      w.Key("p95").Double(s.p95);
+      w.Key("p99").Double(s.p99);
+      w.Key("mean").Double(s.mean);
+      w.Key("sum").Double(s.sum);
+      w.EndObject();
+    };
+    emit_split("latency_batched", report.batched_latency);
+    emit_split("latency_sequential", report.sequential_latency);
+  }
   w.Key("phases").BeginObject();
   for (const QlogPhaseAggregate& agg : report.phases) {
     w.Key(agg.name).BeginObject();
@@ -589,6 +634,23 @@ std::string FormatQlogReport(const QlogReport& report,
                 lat.p50, lat.p95, lat.p99, lat.min, lat.mean, lat.max,
                 lat.sum);
   out += buf;
+  if (report.batched_queries > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  batched:      %zu queries  p50 %.6fs  p99 %.6fs  "
+                  "(mean %.6f, sum %.3f)\n",
+                  report.batched_queries, report.batched_latency.p50,
+                  report.batched_latency.p99, report.batched_latency.mean,
+                  report.batched_latency.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  sequential:   %zu queries  p50 %.6fs  p99 %.6fs  "
+                  "(mean %.6f, sum %.3f)\n",
+                  report.num_queries - report.batched_queries,
+                  report.sequential_latency.p50, report.sequential_latency.p99,
+                  report.sequential_latency.mean,
+                  report.sequential_latency.sum);
+    out += buf;
+  }
   out += "  phases (total seconds, share of phase time):\n";
   for (const QlogPhaseAggregate& agg : report.phases) {
     std::snprintf(buf, sizeof(buf),

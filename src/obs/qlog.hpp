@@ -80,6 +80,16 @@ struct QlogRecord {
   std::uint64_t peak_memory_bytes = 0;
   std::uint64_t trace_dropped_spans = 0;
 
+  // Batch execution (`mio run-workload --batch`). batch_size == 0 means
+  // the query ran sequentially and the optional "batch" section is
+  // omitted from the JSON line; a batched query carries its batch's id
+  // and total member count so reports can split the two populations.
+  std::uint64_t batch_id = 0;
+  std::uint64_t batch_size = 0;
+
+  /// True when the query ran as a QueryBatch member.
+  bool Batched() const { return batch_size > 0; }
+
   /// True when the label lookup reused an existing set (memory or disk).
   bool LabelHit() const {
     return label_outcome == "hit_memory" || label_outcome == "hit_disk";
@@ -234,6 +244,13 @@ struct QlogReport {
   std::vector<QlogPhaseAggregate> phases;
   std::vector<QlogCeilClassStats> ceil_classes;  ///< sorted by ceil_r
   std::vector<QlogSlowQuery> slowest;     ///< wall-descending, max N
+
+  // Batched vs. sequential split (records with/without a "batch"
+  // section). The per-population latency summaries are only meaningful
+  // when the respective count is non-zero.
+  std::size_t batched_queries = 0;
+  QlogLatencySummary batched_latency;
+  QlogLatencySummary sequential_latency;
 };
 
 /// Aggregates records (any order) into a report; `slowest_n` bounds the

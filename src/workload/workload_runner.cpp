@@ -27,6 +27,50 @@ std::uint64_t TrackerPeakBytes() {
   return total;
 }
 
+/// One query's qlog record — shared by the sequential and batch paths so
+/// the two emit field-identical lines (batch adds the "batch" section).
+obs::QlogRecord MakeQlogRecord(const WorkloadSpec& spec,
+                               const std::string& dataset_name,
+                               std::size_t objects, std::size_t index,
+                               const WorkloadQuery& wq, const QueryResult& res,
+                               double wall) {
+  const QueryStats& stats = res.stats;
+  obs::QlogRecord rec;
+  rec.query_index = index;
+  rec.workload = spec.name;
+  rec.dataset = dataset_name;
+  rec.algo = wq.use_labels ? "bigrid-label" : "bigrid";
+  rec.r = wq.r;
+  rec.ceil_r = static_cast<int>(LargeGridWidth(wq.r));
+  rec.k = wq.k;
+  rec.threads = stats.threads;
+  rec.wall_seconds = wall;
+  rec.total_seconds = stats.total_seconds;
+  rec.phase_label_input = stats.phases.label_input;
+  rec.phase_grid_mapping = stats.phases.grid_mapping;
+  rec.phase_lower_bounding = stats.phases.lower_bounding;
+  rec.phase_upper_bounding = stats.phases.upper_bounding;
+  rec.phase_verification = stats.phases.verification;
+  rec.objects = objects;
+  rec.candidates = stats.num_candidates;
+  rec.verified = stats.num_verified;
+  rec.distance_computations = stats.distance_computations;
+  if (!res.topk.empty()) {
+    rec.winner_id = res.best().id;
+    rec.winner_score = res.best().score;
+  }
+  rec.label_outcome = LabelOutcomeName(stats.label_outcome);
+  rec.points_pruned_by_labels = stats.points_pruned_by_labels;
+  rec.status = StatusCodeName(res.status.code());
+  rec.complete = res.complete;
+  rec.degradation_level = stats.degradation_level;
+  rec.pmu_tier = obs::PmuTierName(obs::ActivePmuTier());
+  rec.kernel_tier = KernelTierName(ActiveKernelTier());
+  rec.index_memory_bytes = stats.index_memory_bytes;
+  rec.peak_memory_bytes = TrackerPeakBytes();
+  return rec;
+}
+
 }  // namespace
 
 Result<WorkloadRunSummary> RunWorkload(const ObjectSet& objects,
@@ -75,6 +119,64 @@ Result<WorkloadRunSummary> RunWorkload(const ObjectSet& objects,
   MioEngine engine(*use, opts.label_dir);
 
   Timer workload_timer;
+
+  // --- Batch mode: fold every query directive into one QueryBatch ---------
+  // The engine amortises grid builds / label lookups / verification
+  // scratch per ceil(r) class; per-member qlog records are emitted
+  // afterwards with engine-side timings (there is no per-member harness
+  // wall clock inside a single engine call).
+  if (opts.batch) {
+    std::vector<BatchQuery> batch(spec.queries.size());
+    for (std::size_t i = 0; i < spec.queries.size(); ++i) {
+      const WorkloadQuery& wq = spec.queries[i];
+      batch[i].r = wq.r;
+      batch[i].options.threads = wq.threads;
+      batch[i].options.k = wq.k;
+      batch[i].options.use_labels = wq.use_labels;
+      batch[i].options.record_labels = wq.record_labels;
+      batch[i].options.reuse_grid = wq.reuse_grid;
+      batch[i].options.deadline_ms = wq.deadline_ms;
+    }
+    // The tail-sampling fault site stays exercisable through the batch
+    // path: the delay lands before the batch, inflating member 0's
+    // workload-level share deterministically in fault-storm tests.
+    if (MIO_FAULT_HIT("workload.query_delay")) {
+      Timer delay;
+      while (delay.ElapsedSeconds() < 0.05) {
+      }
+    }
+    BatchResult bres = engine.QueryBatch(batch);
+    for (std::size_t i = 0; i < spec.queries.size(); ++i) {
+      const QueryResult& res = bres.results[i];
+      const double wall = res.stats.total_seconds;
+      if (!res.status.ok()) ++summary.failed;
+      if (!res.complete) ++summary.incomplete;
+      if (qlog.is_open()) {
+        obs::QlogRecord rec = MakeQlogRecord(spec, dataset_name, use->size(),
+                                             i, spec.queries[i], res, wall);
+        rec.batch_id = 0;
+        rec.batch_size = spec.queries.size();
+        MIO_RETURN_NOT_OK(qlog.Append(rec));
+      }
+      if (sampler.enabled()) {
+        (void)sampler.Offer(static_cast<std::uint64_t>(i), wall);
+      }
+      if (opts.verbose) {
+        std::fprintf(stderr,
+                     "workload %s q%zu/%zu r=%g wall=%.6fs status=%s (batch)\n",
+                     spec.name.c_str(), i + 1, spec.queries.size(),
+                     spec.queries[i].r, wall,
+                     StatusCodeName(res.status.code()));
+      }
+    }
+    summary.wall_seconds = workload_timer.ElapsedSeconds();
+    summary.queries = spec.queries.size();
+    summary.tail_indices = sampler.TailIndices();
+    summary.qlog_records = qlog.records_written();
+    MIO_RETURN_NOT_OK(qlog.Close());
+    return summary;
+  }
+
   for (std::size_t i = 0; i < spec.queries.size(); ++i) {
     const WorkloadQuery& wq = spec.queries[i];
     QueryOptions qopts;
@@ -106,40 +208,8 @@ Result<WorkloadRunSummary> RunWorkload(const ObjectSet& objects,
     if (!res.complete) ++summary.incomplete;
 
     if (qlog.is_open()) {
-      const QueryStats& stats = res.stats;
-      obs::QlogRecord rec;
-      rec.query_index = i;
-      rec.workload = spec.name;
-      rec.dataset = dataset_name;
-      rec.algo = wq.use_labels ? "bigrid-label" : "bigrid";
-      rec.r = wq.r;
-      rec.ceil_r = static_cast<int>(LargeGridWidth(wq.r));
-      rec.k = wq.k;
-      rec.threads = stats.threads;
-      rec.wall_seconds = wall;
-      rec.total_seconds = stats.total_seconds;
-      rec.phase_label_input = stats.phases.label_input;
-      rec.phase_grid_mapping = stats.phases.grid_mapping;
-      rec.phase_lower_bounding = stats.phases.lower_bounding;
-      rec.phase_upper_bounding = stats.phases.upper_bounding;
-      rec.phase_verification = stats.phases.verification;
-      rec.objects = use->size();
-      rec.candidates = stats.num_candidates;
-      rec.verified = stats.num_verified;
-      rec.distance_computations = stats.distance_computations;
-      if (!res.topk.empty()) {
-        rec.winner_id = res.best().id;
-        rec.winner_score = res.best().score;
-      }
-      rec.label_outcome = LabelOutcomeName(stats.label_outcome);
-      rec.points_pruned_by_labels = stats.points_pruned_by_labels;
-      rec.status = StatusCodeName(res.status.code());
-      rec.complete = res.complete;
-      rec.degradation_level = stats.degradation_level;
-      rec.pmu_tier = obs::PmuTierName(obs::ActivePmuTier());
-      rec.kernel_tier = KernelTierName(ActiveKernelTier());
-      rec.index_memory_bytes = stats.index_memory_bytes;
-      rec.peak_memory_bytes = TrackerPeakBytes();
+      obs::QlogRecord rec =
+          MakeQlogRecord(spec, dataset_name, use->size(), i, wq, res, wall);
       rec.trace_dropped_spans = want_traces ? tracer.DroppedEvents() : 0;
       MIO_RETURN_NOT_OK(qlog.Append(rec));
     }

@@ -37,6 +37,14 @@ struct WorkloadRunOptions {
   /// "" keeps labels in memory only.
   std::string label_dir;
 
+  /// Fold the spec's query directives into one MioEngine::QueryBatch
+  /// call instead of a sequential Query loop. Qlog records then carry a
+  /// "batch" section (id + size) so `mio qlog report` can split batched
+  /// vs. sequential latencies. Per-query trace export is disabled in
+  /// batch mode (members run inside one engine call); the tail set is
+  /// still computed from per-member engine timings.
+  bool batch = false;
+
   /// Per-query progress lines on stderr.
   bool verbose = false;
 };

@@ -1,0 +1,378 @@
+// MioEngine::QueryBatch differential tests: batch execution must be
+// bit-identical to per-query Query across kernel tiers, radius classes,
+// top-k, labels, and thread counts — and a guardrail-tripped or
+// memory-degraded member must never poison its siblings (including the
+// ClearGridCache-mid-batch lifetime contract, mio_engine.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/bigrid.hpp"
+#include "core/mio_engine.hpp"
+#include "geo/kernels.hpp"
+#include "test_utils.hpp"
+
+namespace mio {
+namespace {
+
+std::vector<BatchQuery> MakeBatch(const std::vector<double>& radii,
+                                  const QueryOptions& opt = {}) {
+  std::vector<BatchQuery> batch(radii.size());
+  for (std::size_t i = 0; i < radii.size(); ++i) {
+    batch[i].r = radii[i];
+    batch[i].options = opt;
+  }
+  return batch;
+}
+
+/// Runs the same members through a fresh engine's sequential Query loop
+/// (reuse_grid on, like the batch implies) for differential comparison.
+std::vector<QueryResult> RunSequential(const ObjectSet& set,
+                                       const std::vector<BatchQuery>& batch) {
+  MioEngine engine(set);
+  std::vector<QueryResult> out;
+  out.reserve(batch.size());
+  for (const BatchQuery& q : batch) {
+    QueryOptions opt = q.options;
+    opt.reuse_grid = true;
+    out.push_back(engine.Query(q.r, opt));
+  }
+  return out;
+}
+
+void ExpectSameAnswer(const QueryResult& a, const QueryResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.complete, b.complete) << what;
+  EXPECT_EQ(a.status.code(), b.status.code()) << what;
+  ASSERT_EQ(a.topk.size(), b.topk.size()) << what;
+  for (std::size_t i = 0; i < a.topk.size(); ++i) {
+    EXPECT_EQ(a.topk[i].id, b.topk[i].id) << what << " rank " << i;
+    EXPECT_EQ(a.topk[i].score, b.topk[i].score) << what << " rank " << i;
+  }
+}
+
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_ = testing::MakeRandomObjects(60, 4, 10, 30.0, 13, 5.0);
+  }
+  std::uint32_t Oracle(double r) {
+    return testing::MaxScore(testing::OracleScores(set_, r));
+  }
+  ObjectSet set_;
+};
+
+// The mixed-ceiling workload the batch API exists for: several radii per
+// ceil(r) class, classes interleaved in submission order.
+const std::vector<double> kMixedRadii = {3.0, 4.5, 3.2, 6.8, 2.1,
+                                         5.5, 4.0, 3.9, 6.1, 2.8};
+
+TEST_F(BatchTest, MixedCeilingBitIdenticalToSequential) {
+  std::vector<BatchQuery> batch = MakeBatch(kMixedRadii);
+  std::vector<QueryResult> seq = RunSequential(set_, batch);
+
+  MioEngine engine(set_);
+  BatchResult res = engine.QueryBatch(batch);
+  ASSERT_EQ(res.results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameAnswer(res.results[i], seq[i],
+                     "r=" + std::to_string(kMixedRadii[i]));
+    EXPECT_EQ(res.results[i].best().score, Oracle(kMixedRadii[i])) << i;
+  }
+
+  // Accounting: one build per distinct ceiling, every other member saved.
+  std::map<int, int> ceilings;
+  for (double r : kMixedRadii) {
+    ++ceilings[static_cast<int>(LargeGridWidth(r))];
+  }
+  EXPECT_EQ(res.stats.classes, ceilings.size());
+  EXPECT_EQ(res.stats.grid_builds, ceilings.size());
+  EXPECT_EQ(res.stats.grid_builds_saved, kMixedRadii.size() - ceilings.size());
+  EXPECT_GT(res.stats.postings_bytes_shared, 0u);
+  EXPECT_GT(res.stats.arena_high_water_bytes, 0u);
+}
+
+TEST_F(BatchTest, BitIdenticalAcrossKernelTiers) {
+  std::vector<BatchQuery> batch = MakeBatch({3.0, 4.5, 3.2, 6.8, 4.0});
+  std::vector<QueryResult> seq = RunSequential(set_, batch);
+
+  std::vector<KernelTier> tiers = {KernelTier::kScalar};
+  if (static_cast<int>(BestSupportedTier()) >=
+      static_cast<int>(KernelTier::kSse2)) {
+    tiers.push_back(KernelTier::kSse2);
+  }
+  if (BestSupportedTier() == KernelTier::kAvx2) {
+    tiers.push_back(KernelTier::kAvx2);
+  }
+  KernelTier prev = ActiveKernelTier();
+  for (KernelTier tier : tiers) {
+    ASSERT_EQ(SetKernelTier(tier), tier);
+    MioEngine engine(set_);
+    BatchResult res = engine.QueryBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ExpectSameAnswer(res.results[i], seq[i],
+                       std::string(KernelTierName(tier)) + " member " +
+                           std::to_string(i));
+    }
+  }
+  SetKernelTier(prev);
+}
+
+TEST_F(BatchTest, TopKMatchesSequentialAndOracle) {
+  QueryOptions opt;
+  opt.k = 5;
+  std::vector<BatchQuery> batch = MakeBatch({5.0, 4.2, 5.0, 3.3}, opt);
+  std::vector<QueryResult> seq = RunSequential(set_, batch);
+
+  MioEngine engine(set_);
+  BatchResult res = engine.QueryBatch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameAnswer(res.results[i], seq[i], "k=5 member " +
+                                                 std::to_string(i));
+    std::vector<ScoredObject> want =
+        TopKFromScores(testing::OracleScores(set_, batch[i].r), 5);
+    ASSERT_EQ(res.results[i].topk.size(), want.size()) << i;
+    for (std::size_t rank = 0; rank < want.size(); ++rank) {
+      EXPECT_EQ(res.results[i].topk[rank].score, want[rank].score)
+          << i << " rank " << rank;
+    }
+  }
+}
+
+TEST_F(BatchTest, LabelsHoistedOncePerClassStayExact) {
+  QueryOptions opt;
+  opt.use_labels = true;
+  opt.record_labels = true;
+  // Three members of ceiling 4: the first records, siblings must replay
+  // the hoisted set as a memory hit without re-probing.
+  std::vector<BatchQuery> batch = MakeBatch({4.0, 3.7, 3.3, 6.5, 6.0}, opt);
+  std::vector<QueryResult> seq = RunSequential(set_, batch);
+
+  MioEngine engine(set_);
+  BatchResult res = engine.QueryBatch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameAnswer(res.results[i], seq[i],
+                     "labels member " + std::to_string(i));
+    EXPECT_EQ(res.results[i].best().score, Oracle(batch[i].r)) << i;
+  }
+  EXPECT_EQ(res.results[0].stats.label_outcome, LabelOutcome::kMissRecorded);
+  EXPECT_EQ(res.results[1].stats.label_outcome, LabelOutcome::kHitMemory);
+  EXPECT_EQ(res.results[2].stats.label_outcome, LabelOutcome::kHitMemory);
+  EXPECT_TRUE(engine.HasLabelsFor(4.0));
+  EXPECT_TRUE(engine.HasLabelsFor(6.5));
+}
+
+TEST_F(BatchTest, ParallelBatchMatchesSerialBatch) {
+  std::vector<BatchQuery> serial_batch = MakeBatch(kMixedRadii);
+  QueryOptions par;
+  par.threads = 4;
+  std::vector<BatchQuery> parallel_batch = MakeBatch(kMixedRadii, par);
+
+  MioEngine serial_engine(set_);
+  BatchResult serial = serial_engine.QueryBatch(serial_batch);
+  MioEngine parallel_engine(set_);
+  BatchResult parallel = parallel_engine.QueryBatch(parallel_batch);
+  for (std::size_t i = 0; i < kMixedRadii.size(); ++i) {
+    ExpectSameAnswer(parallel.results[i], serial.results[i],
+                     "threads=4 member " + std::to_string(i));
+  }
+}
+
+TEST_F(BatchTest, TrippedMemberDoesNotPoisonSiblings) {
+  std::vector<BatchQuery> batch = MakeBatch({4.0, 3.5, 3.2, 3.8});
+  batch[1].options.deadline_ms = 1e-7;  // trips at the first guard poll
+
+  MioEngine engine(set_);
+  BatchResult res = engine.QueryBatch(batch);
+  EXPECT_FALSE(res.results[1].complete);
+  EXPECT_EQ(res.results[1].status.code(), StatusCode::kDeadlineExceeded);
+  // Every sibling is exact, including the ones after the trip.
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_TRUE(res.results[i].complete) << i;
+    EXPECT_EQ(res.results[i].best().score, Oracle(batch[i].r)) << i;
+  }
+}
+
+TEST_F(BatchTest, TrippedFirstMemberLeavesClassRebuildable) {
+  // The class builder itself trips: grid_out must stay empty (a partial
+  // grid is never shared) and the next member rebuilds and answers.
+  std::vector<BatchQuery> batch = MakeBatch({4.0, 3.5});
+  batch[0].options.deadline_ms = 1e-7;
+
+  MioEngine engine(set_);
+  BatchResult res = engine.QueryBatch(batch);
+  EXPECT_FALSE(res.results[0].complete);
+  EXPECT_TRUE(res.results[1].complete);
+  EXPECT_EQ(res.results[1].best().score, Oracle(3.5));
+  EXPECT_EQ(res.stats.grid_builds_saved, 0u);
+}
+
+TEST_F(BatchTest, MidBatchCacheClearCannotDangle) {
+  // Satellite regression for the ClearGridCache lifetime contract: a
+  // member whose memory budget walks the degradation ladder to "drop the
+  // grid cache" clears grid_cache_ in the middle of the batch. The class
+  // grid is pinned by the batch loop's shared_ptr, so later siblings must
+  // keep reading it (no rebuild, no dangle — ASan covers the latter via
+  // scripts/check_batch.sh).
+  ObjectSet set = testing::MakeRandomObjects(400, 4, 8, 40.0, 81);
+  const double r = 3.0;
+  // The class grid reaches member 1 with member 0's memoised b_adj
+  // bitsets aboard, so the budget is pinned to the post-query footprint
+  // (index_memory_bytes after one full reuse_grid query), not to the
+  // bare post-build grid the sequential ladder test uses.
+  MioEngine probe(set);
+  QueryOptions probe_opt;
+  probe_opt.reuse_grid = true;
+  const std::size_t warm_bytes =
+      probe.Query(r, probe_opt).stats.index_memory_bytes;
+  const std::uint32_t oracle = testing::MaxScore(testing::OracleScores(set, r));
+
+  std::vector<BatchQuery> batch = MakeBatch({r, r, r, r});
+  batch[1].options.memory_budget_bytes = warm_bytes;
+
+  MioEngine engine(set);
+  BatchOptions bopt;
+  bopt.partition_postings = false;  // budget pinned to the flat footprint
+  BatchResult res = engine.QueryBatch(batch, bopt);
+  EXPECT_TRUE(res.results[1].complete);
+  EXPECT_GE(res.results[1].stats.degradation_level, 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(res.results[i].complete) << i;
+    EXPECT_EQ(res.results[i].best().score, oracle) << i;
+  }
+  // Members 1..3 all ran off the pinned class grid (no rebuild).
+  EXPECT_EQ(res.stats.grid_builds, 1u);
+  EXPECT_EQ(res.stats.grid_builds_saved, 3u);
+  // And the engine survives the cleared cache: a fresh query rebuilds.
+  QueryOptions reuse;
+  reuse.reuse_grid = true;
+  QueryResult after = engine.Query(r, reuse);
+  EXPECT_EQ(after.best().score, oracle);
+}
+
+TEST_F(BatchTest, EmptyAndDegenerateMembers) {
+  MioEngine engine(set_);
+  EXPECT_TRUE(engine.QueryBatch({}).results.empty());
+
+  std::vector<BatchQuery> batch = MakeBatch({4.0, 0.0, -1.0, 3.5});
+  BatchResult res = engine.QueryBatch(batch);
+  ASSERT_EQ(res.results.size(), 4u);
+  EXPECT_EQ(res.results[0].best().score, Oracle(4.0));
+  EXPECT_TRUE(res.results[1].topk.empty());
+  EXPECT_TRUE(res.results[2].topk.empty());
+  EXPECT_EQ(res.results[3].best().score, Oracle(3.5));
+  EXPECT_EQ(res.stats.classes, 1u);  // 4.0 and 3.5 share ceiling 4
+}
+
+TEST_F(BatchTest, BatchWarmStartsFromEngineGridCache) {
+  // A grid cached by an earlier sequential query serves the whole class:
+  // zero builds inside the batch.
+  MioEngine engine(set_);
+  QueryOptions reuse;
+  reuse.reuse_grid = true;
+  engine.Query(4.0, reuse);
+
+  BatchResult res = engine.QueryBatch(MakeBatch({4.0, 3.7, 3.1}));
+  EXPECT_EQ(res.stats.grid_builds, 0u);
+  EXPECT_EQ(res.stats.grid_builds_saved, 3u);
+  EXPECT_EQ(res.results[0].best().score, Oracle(4.0));
+  EXPECT_EQ(res.results[1].best().score, Oracle(3.7));
+  EXPECT_EQ(res.results[2].best().score, Oracle(3.1));
+}
+
+// --- Two-level posting layout structural invariants ------------------------
+
+TEST(PartitionPostingsTest, PreservesPointsAndBoxesAreTight) {
+  ObjectSet set = testing::MakeRandomObjects(40, 6, 12, 20.0, 7, 4.0);
+  BiGrid grid(set, 4.0);
+  grid.Build();
+  std::shared_ptr<LargeGridData> large = grid.ShareLargeGrid();
+
+  // Flat-layout inventory per cell: multiset of (obj, x, y, z).
+  using Entry = std::tuple<ObjectId, double, double, double>;
+  std::map<const LargeCell*, std::vector<Entry>> before;
+  for (auto& shard : large->shards) {
+    shard.ForEach([&](const CellKey&, LargeCell& cell) {
+      std::vector<Entry>& inv = before[&cell];
+      for (std::size_t ri = 0; ri < cell.post_obj.size(); ++ri) {
+        PostingView v = cell.PostingAt(ri);
+        for (std::size_t p = 0; p < v.size; ++p) {
+          inv.emplace_back(cell.post_obj[ri], v.xs[p], v.ys[p], v.zs[p]);
+        }
+      }
+      std::sort(inv.begin(), inv.end());
+    });
+  }
+
+  const std::size_t cells = PartitionLargeGridPostings(large.get(),
+                                                       /*min_points=*/1);
+  EXPECT_GT(cells, 0u);
+  // Idempotent: a second pass finds nothing left to do.
+  EXPECT_EQ(PartitionLargeGridPostings(large.get(), 1), 0u);
+
+  for (auto& shard : large->shards) {
+    shard.ForEach([&](const CellKey&, LargeCell& cell) {
+      ASSERT_TRUE(cell.partitioned());
+      ASSERT_EQ(cell.part_runs.size(), 9u);
+      ASSERT_EQ(cell.part_box.size(), 48u);
+      EXPECT_EQ(cell.part_runs[0], 0u);
+      EXPECT_EQ(cell.part_runs[8], cell.post_obj.size());
+
+      std::vector<Entry> after;
+      for (int o = 0; o < 8; ++o) {
+        ObjectId prev_obj = 0;
+        bool first = true;
+        for (std::uint32_t ri = cell.part_runs[o]; ri < cell.part_runs[o + 1];
+             ++ri) {
+          // Runs stay ascending by object id within each octant.
+          if (!first) {
+            EXPECT_LT(prev_obj, cell.post_obj[ri]);
+          }
+          prev_obj = cell.post_obj[ri];
+          first = false;
+          PostingView v = cell.PostingAt(ri);
+          ASSERT_GT(v.size, 0u);
+          const double* box = cell.part_box.data() + o * 6;
+          for (std::size_t p = 0; p < v.size; ++p) {
+            after.emplace_back(cell.post_obj[ri], v.xs[p], v.ys[p], v.zs[p]);
+            // Every point sits inside its octant's tight box — the exact
+            // soundness condition for MinDist2ToOctantBox pruning.
+            EXPECT_GE(v.xs[p], box[0]);
+            EXPECT_GE(v.ys[p], box[1]);
+            EXPECT_GE(v.zs[p], box[2]);
+            EXPECT_LE(v.xs[p], box[3]);
+            EXPECT_LE(v.ys[p], box[4]);
+            EXPECT_LE(v.zs[p], box[5]);
+            EXPECT_EQ(MinDist2ToOctantBox(Point{v.xs[p], v.ys[p], v.zs[p]},
+                                          cell.part_box.data(), o),
+                      0.0);
+          }
+        }
+      }
+      std::sort(after.begin(), after.end());
+      EXPECT_EQ(after, before[&cell]);
+    });
+  }
+}
+
+TEST(PartitionPostingsTest, SmallCellsKeepFlatLayout) {
+  ObjectSet set = testing::MakeRandomObjects(10, 2, 3, 50.0, 5, 2.0);
+  BiGrid grid(set, 3.0);
+  grid.Build();
+  std::shared_ptr<LargeGridData> large = grid.ShareLargeGrid();
+  // An absurd threshold partitions nothing.
+  EXPECT_EQ(PartitionLargeGridPostings(large.get(), 1u << 20), 0u);
+  for (auto& shard : large->shards) {
+    shard.ForEach([&](const CellKey&, LargeCell& cell) {
+      EXPECT_FALSE(cell.partitioned());
+    });
+  }
+}
+
+}  // namespace
+}  // namespace mio

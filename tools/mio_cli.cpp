@@ -68,10 +68,12 @@ void Usage() {
       "            (one query, human-readable pruning-funnel report)\n"
       "  run-workload --spec=FILE [--in=FILE] [--qlog=FILE|-] [--labels=DIR]\n"
       "            [--trace-dir=DIR] [--tail-threshold-ms=MS]\n"
-      "            [--tail-slowest=N] [--verbose]\n"
+      "            [--tail-slowest=N] [--batch] [--verbose]\n"
       "            (runs the spec's query sequence through one engine:\n"
       "             one mio-qlog-v1 JSONL record per query; Chrome traces\n"
-      "             are kept only for tail queries)\n"
+      "             are kept only for tail queries; --batch folds the\n"
+      "             queries into one QueryBatch call, amortising grid\n"
+      "             builds and label lookups per ceil(r) class)\n"
       "  qlog report --in=FILE [--slowest=N] [--trace-dir=DIR]\n"
       "            [--json=FILE|-]\n"
       "            (aggregates a qlog: p50/p95/p99 latency, per-phase\n"
@@ -627,6 +629,7 @@ int CmdRunWorkload(const mio::ArgParser& args) {
   opts.tail.slowest_n =
       static_cast<std::size_t>(args.GetInt("tail-slowest", 0));
   opts.label_dir = args.GetString("labels", "");
+  opts.batch = args.Has("batch");
   opts.verbose = args.Has("verbose");
 
   mio::Result<mio::WorkloadRunSummary> run =
@@ -651,6 +654,19 @@ int CmdRunWorkload(const mio::ArgParser& args) {
     std::printf("\n");
   }
   mio::obs::MetricsSnapshot m = mio::obs::SnapshotMetrics();
+  if (opts.batch) {
+    std::printf(
+        "batch: %llu classes, %llu grid builds saved, %llu posting bytes "
+        "shared, %llu cells partitioned\n",
+        static_cast<unsigned long long>(m.counters[static_cast<std::size_t>(
+            mio::obs::Counter::kBatchClasses)]),
+        static_cast<unsigned long long>(m.counters[static_cast<std::size_t>(
+            mio::obs::Counter::kBatchGridBuildsSaved)]),
+        static_cast<unsigned long long>(m.counters[static_cast<std::size_t>(
+            mio::obs::Counter::kBatchPostingsBytesShared)]),
+        static_cast<unsigned long long>(m.counters[static_cast<std::size_t>(
+            mio::obs::Counter::kBatchCellsPartitioned)]));
+  }
   std::uint64_t hits = m.counters[static_cast<std::size_t>(
       mio::obs::Counter::kLabelCacheHits)];
   std::uint64_t misses = m.counters[static_cast<std::size_t>(
